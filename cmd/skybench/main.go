@@ -1,0 +1,122 @@
+// Command skybench regenerates the tables and figures of the SkyBridge
+// paper's evaluation (EuroSys'19, §6) on the simulated substrate.
+//
+// Usage:
+//
+//	skybench -run all
+//	skybench -run table1,table2,fig7
+//	skybench -run fig9 -records 10000 -ops 200
+//
+// Experiments: table1 table2 table4 table5 table6 fig2 fig7 fig8 fig9
+// fig10 fig11 ablations. Paper-scale knobs: -records, -ops, -kvops,
+// -clients, -scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skybridge/internal/bench"
+	"skybridge/internal/mk"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiments (or 'all')")
+		records = flag.Int("records", 1000, "YCSB records per client (paper: 10000)")
+		ops     = flag.Int("ops", 60, "YCSB operations per client thread")
+		kvops   = flag.Int("kvops", 512, "KV-store operations per configuration")
+		clients = flag.Int("clients", 4, "SQLite clients (Table 4)")
+		opsKind = flag.Int("opskind", 40, "SQLite ops per kind per client (Table 4)")
+		preload = flag.Int("preload", 200, "SQLite preloaded rows per client (Table 4)")
+		scale   = flag.Int("scale", 8, "Table 6 corpus scale divisor (1 = paper scale)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+	ran := 0
+
+	if sel("table2") {
+		fmt.Println(bench.Table2().Render())
+		ran++
+	}
+	if sel("fig7") {
+		fmt.Println(bench.Figure7().Render())
+		ran++
+	}
+	if sel("table1") {
+		fmt.Println(bench.Table1().Render())
+		ran++
+	}
+	if sel("fig2") {
+		fmt.Println(bench.Figure2(*kvops).Render())
+		ran++
+	}
+	if sel("fig8") {
+		fmt.Println(bench.Figure8(*kvops).Render())
+		ran++
+	}
+	if sel("table4") {
+		for _, fl := range []mk.Flavor{mk.SeL4, mk.Fiasco, mk.Zircon} {
+			r, err := bench.Table4(bench.Table4Config{
+				Flavor: fl, Clients: *clients, OpsPerKind: *opsKind, Preload: *preload,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(r.Render())
+		}
+		ran++
+	}
+	figFor := map[string]mk.Flavor{"fig9": mk.SeL4, "fig10": mk.Fiasco, "fig11": mk.Zircon}
+	for _, name := range []string{"fig9", "fig10", "fig11"} {
+		if !sel(name) {
+			continue
+		}
+		r, err := bench.Figure9to11(bench.YCSBConfig{
+			Flavor: figFor[name], Records: *records, Ops: *ops,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+		ran++
+	}
+	if sel("table5") {
+		r, err := bench.Table5(*records, *ops)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+		ran++
+	}
+	if sel("table6") {
+		r, err := bench.Table6(*scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+		ran++
+	}
+	if sel("ablations") {
+		fmt.Println(bench.RenderAblations(bench.Ablations()))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "skybench: no experiment matched %q\n", *runList)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skybench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Rewriter demo: build a binary containing both a deliberate VMFUNC and
+// the inadvertent encodings of Table 3, then scan and rewrite it the way
+// SkyBridge's Subkernel does at registration time (paper §5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"skybridge/internal/isa"
+	"skybridge/internal/rewrite"
+)
+
+func main() {
+	var a isa.Asm
+	a.MovRI32(isa.RAX, 0)
+	a.Vmfunc()                                                                        // the faking attack: a literal VMFUNC
+	a.AluRI(isa.ADD, isa.RBX, 0xD4010F)                                               // VMFUNC bytes inside an immediate
+	a.Imul3M(isa.RCX, isa.Mem{Base: isa.RDI, Index: isa.NoReg, Scale: 1}, 0x2222D401) // ModRM=0F
+	a.Lea(isa.RBX, isa.Mem{Base: isa.RDI, Index: isa.RCX, Scale: 1, Disp: 0xD401})    // SIB=0F
+	for i := 0; i < 8; i++ {
+		a.Nop()
+	}
+	a.Hlt()
+	code := a.Bytes()
+
+	fmt.Println("before rewriting:")
+	disasm(code)
+	occs, err := rewrite.Scan(code)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range occs {
+		fmt.Printf("  !! VMFUNC pattern at +%#x (case %s) in: %s\n", o.Off, o.Case, o.Inst)
+	}
+
+	rw := rewrite.New(0x40_0000)
+	res, err := rw.Rewrite(code)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrewrote %d occurrences: %v\n", len(res.Fixed), res.CaseCounts())
+	fmt.Println("\nafter rewriting (code page):")
+	disasm(res.Code)
+	fmt.Println("\nrewriting page at 0x1000:")
+	disasm(res.RewritePage)
+
+	if n := len(rewrite.FindPattern(res.Code)) + len(rewrite.FindPattern(res.RewritePage)); n != 0 {
+		log.Fatalf("pattern survives (%d)!", n)
+	}
+	fmt.Println("\nno VMFUNC byte pattern remains outside the trampoline.")
+}
+
+func disasm(code []byte) {
+	off := 0
+	for off < len(code) {
+		in, err := isa.Decode(code[off:])
+		if err != nil {
+			fmt.Printf("  +%04x  <%x>\n", off, code[off:])
+			return
+		}
+		fmt.Printf("  +%04x  %-28s % x\n", off, in.String(), in.Raw)
+		off += in.Len
+	}
+}

@@ -1,0 +1,3 @@
+module skybridge
+
+go 1.22

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+	"skybridge/internal/svc"
+)
+
+// --- Table 2: latency of instructions and operations ---
+
+// Table2Row is one measured operation.
+type Table2Row struct {
+	Name   string
+	Cycles uint64
+	// Paper is the value the paper reports on its Skylake testbed.
+	Paper uint64
+}
+
+// Table2Result reproduces Table 2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 measures the primitive operations through the hardware model.
+func Table2() *Table2Result {
+	res := &Table2Result{}
+
+	measure := func(name string, paper uint64, kpti bool, op func(cpu *hw.CPU, k *mk.Kernel)) {
+		w := MustWorld(WorldConfig{Flavor: mk.SeL4, KPTI: kpti})
+		p := w.K.NewProcess("m")
+		var cycles uint64
+		p.Spawn("m", w.K.Mach.Cores[0], func(env *mk.Env) {
+			cpu := env.T.Core
+			const rounds = 1000
+			// Warm up.
+			op(cpu, w.K)
+			start := cpu.Clock
+			for i := 0; i < rounds; i++ {
+				op(cpu, w.K)
+			}
+			cycles = (cpu.Clock - start) / rounds
+		})
+		if err := w.Eng.Run(); err != nil {
+			panic(err)
+		}
+		res.Rows = append(res.Rows, Table2Row{Name: name, Cycles: cycles, Paper: paper})
+	}
+
+	measure("write to CR3", 186, false, func(cpu *hw.CPU, k *mk.Kernel) {
+		cpu.Mode = hw.ModeKernel
+		cpu.WriteCR3(cpu.CR3, cpu.PCID)
+	})
+	nullSyscall := func(k *mk.Kernel) func(cpu *hw.CPU, _ *mk.Kernel) {
+		return func(cpu *hw.CPU, _ *mk.Kernel) {
+			cpu.Syscall()
+			cpu.Swapgs()
+			if k.Cfg.KPTI {
+				cpu.WriteCR3(cpu.CR3, cpu.PCID)
+			}
+			cpu.Tick(20) // dispatch + return setup
+			if k.Cfg.KPTI {
+				cpu.WriteCR3(cpu.CR3, cpu.PCID)
+			}
+			cpu.Swapgs()
+			cpu.Sysret()
+		}
+	}
+	measureSyscall := func(name string, paper uint64, kpti bool) {
+		w := MustWorld(WorldConfig{Flavor: mk.SeL4, KPTI: kpti})
+		p := w.K.NewProcess("m")
+		var cycles uint64
+		op := nullSyscall(w.K)
+		p.Spawn("m", w.K.Mach.Cores[0], func(env *mk.Env) {
+			cpu := env.T.Core
+			const rounds = 1000
+			op(cpu, w.K)
+			start := cpu.Clock
+			for i := 0; i < rounds; i++ {
+				op(cpu, w.K)
+			}
+			cycles = (cpu.Clock - start) / rounds
+		})
+		if err := w.Eng.Run(); err != nil {
+			panic(err)
+		}
+		res.Rows = append(res.Rows, Table2Row{Name: name, Cycles: cycles, Paper: paper})
+	}
+	measureSyscall("no-op system call w/ KPTI", 431, true)
+	measureSyscall("no-op system call w/o KPTI", 181, false)
+
+	// VMFUNC requires the virtualized world.
+	{
+		w := MustWorld(WorldConfig{Flavor: mk.SeL4, SkyBridge: true})
+		server := w.K.NewProcess("server")
+		client := w.K.NewProcess("client")
+		var id int
+		server.Spawn("reg", w.K.Mach.Cores[0], func(env *mk.Env) {
+			id, _ = w.SB.RegisterServer(env, 2, 0, nil)
+		})
+		if err := w.Eng.Run(); err != nil {
+			panic(err)
+		}
+		var cycles uint64
+		client.Spawn("m", w.K.Mach.Cores[0], func(env *mk.Env) {
+			if _, err := w.SB.RegisterClient(env, id); err != nil {
+				panic(err)
+			}
+			cpu := env.T.Core
+			const rounds = 1000
+			cpu.VMFunc(0, id)
+			cpu.VMFunc(0, 0)
+			start := cpu.Clock
+			for i := 0; i < rounds; i++ {
+				cpu.VMFunc(0, id)
+				cpu.VMFunc(0, 0)
+			}
+			cycles = (cpu.Clock - start) / (2 * rounds)
+		})
+		if err := w.Eng.Run(); err != nil {
+			panic(err)
+		}
+		res.Rows = append(res.Rows, Table2Row{Name: "VMFUNC", Cycles: cycles, Paper: 134})
+	}
+	return res
+}
+
+// Render formats the table.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: latency of instructions and operations (cycles)\n")
+	fmt.Fprintf(&b, "%-32s %10s %10s\n", "Instruction or Operation", "measured", "paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-32s %10d %10d\n", row.Name, row.Cycles, row.Paper)
+	}
+	return b.String()
+}
+
+// --- Figure 7: IPC round-trip breakdowns ---
+
+// Figure7Row is one bar of Figure 7.
+type Figure7Row struct {
+	Name       string
+	Total      uint64
+	Components map[string]float64
+	// Paper is the round-trip the paper reports.
+	Paper uint64
+}
+
+// Figure7Result reproduces Figure 7.
+type Figure7Result struct {
+	Rows []Figure7Row
+}
+
+// measureEchoIPC runs a warm same- or cross-core empty-message echo and
+// returns (cycles per round trip, per-round component breakdown).
+func measureEchoIPC(flavor mk.Flavor, sameCore bool, virtualized bool) (uint64, map[string]float64) {
+	w := MustWorld(WorldConfig{Flavor: flavor, Virtualized: virtualized})
+	client := w.K.NewProcess("client")
+	server := w.K.NewProcess("server")
+	ep := w.K.NewEndpoint("echo")
+	client.Grant(ep)
+
+	serverCore := w.K.Mach.Cores[0]
+	if !sameCore {
+		serverCore = w.K.Mach.Cores[1]
+	}
+	srvBuf := server.Alloc(hw.PageSize)
+	server.Spawn("srv", serverCore, func(env *mk.Env) {
+		w.K.Serve(env, ep, srvBuf, func(env *mk.Env, req mk.Msg) mk.Msg {
+			return mk.Msg{Regs: [4]uint64{req.Regs[0]}}
+		})
+	})
+	var cycles uint64
+	client.Spawn("cli", w.K.Mach.Cores[0], func(env *mk.Env) {
+		for i := 0; i < 64; i++ {
+			env.Call(ep, mk.Msg{}, 0)
+		}
+		w.K.BD = mk.NewBreakdown()
+		const rounds = 256
+		start := env.Now()
+		for i := 0; i < rounds; i++ {
+			env.Call(ep, mk.Msg{}, 0)
+			w.K.BD.Rounds++
+		}
+		cycles = (env.Now() - start) / rounds
+		ep.Close()
+	})
+	if err := w.Eng.Run(); err != nil {
+		panic(err)
+	}
+	return cycles, w.K.BD.PerRound()
+}
+
+// measureSkyBridge runs the warm direct-call microbenchmark.
+func measureSkyBridge(flavor mk.Flavor) (uint64, map[string]float64) {
+	w := MustWorld(WorldConfig{Flavor: flavor, SkyBridge: true})
+	server := w.K.NewProcess("server")
+	client := w.K.NewProcess("client")
+	var id int
+	server.Spawn("reg", w.K.Mach.Cores[0], func(env *mk.Env) {
+		id, _ = svc.RegisterSkyBridgeServer(w.SB, env, 4, func(env *mk.Env, req svc.Req) svc.Resp {
+			return svc.Resp{}
+		})
+	})
+	if err := w.Eng.Run(); err != nil {
+		panic(err)
+	}
+	var cycles, vmfuncs uint64
+	client.Spawn("cli", w.K.Mach.Cores[0], func(env *mk.Env) {
+		conn, err := svc.NewSkyBridge(w.SB, env, id)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 64; i++ {
+			conn.Invoke(env, svc.Req{})
+		}
+		cpu := env.T.Core
+		const rounds = 256
+		startVM := cpu.Counters.VMFuncs
+		start := env.Now()
+		for i := 0; i < rounds; i++ {
+			conn.Invoke(env, svc.Req{})
+		}
+		cycles = (env.Now() - start) / rounds
+		vmfuncs = (cpu.Counters.VMFuncs - startVM) / rounds
+	})
+	if err := w.Eng.Run(); err != nil {
+		panic(err)
+	}
+	vm := float64(vmfuncs) * float64(hw.CostVMFUNC)
+	return cycles, map[string]float64{
+		mk.CatVMFUNC: vm,
+		mk.CatOther:  float64(cycles) - vm,
+	}
+}
+
+// Figure7 regenerates the IPC breakdown chart.
+func Figure7() *Figure7Result {
+	res := &Figure7Result{}
+	add := func(name string, total uint64, comps map[string]float64, paper uint64) {
+		res.Rows = append(res.Rows, Figure7Row{Name: name, Total: total, Components: comps, Paper: paper})
+	}
+	for _, fl := range []mk.Flavor{mk.SeL4, mk.Fiasco, mk.Zircon} {
+		c, comps := measureSkyBridge(fl)
+		add(fl.String()+"-SkyBridge", c, comps, 396)
+	}
+	papers := map[string][2]uint64{
+		"seL4":      {986, 6764},
+		"Fiasco.OC": {2717, 8440},
+		"Zircon":    {8157, 20099},
+	}
+	for _, fl := range []mk.Flavor{mk.SeL4, mk.Fiasco, mk.Zircon} {
+		c, comps := measureEchoIPC(fl, true, false)
+		add(fl.String()+" single-core", c, comps, papers[fl.String()][0])
+		c, comps = measureEchoIPC(fl, false, false)
+		add(fl.String()+" cross-core", c, comps, papers[fl.String()][1])
+	}
+	return res
+}
+
+// Render formats the figure as a table of stacked components.
+func (r *Figure7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: synchronous IPC round-trip breakdown (cycles)\n")
+	fmt.Fprintf(&b, "%-24s %9s %9s   components\n", "configuration", "measured", "paper")
+	for _, row := range r.Rows {
+		var keys []string
+		for k := range row.Components {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			if row.Components[k] >= 0.5 {
+				parts = append(parts, fmt.Sprintf("%s=%.0f", k, row.Components[k]))
+			}
+		}
+		fmt.Fprintf(&b, "%-24s %9d %9d   %s\n", row.Name, row.Total, row.Paper, strings.Join(parts, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,576 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"skybridge/internal/blockdev"
+	"skybridge/internal/db"
+	"skybridge/internal/fs"
+	"skybridge/internal/mk"
+	"skybridge/internal/sim"
+	"skybridge/internal/svc"
+	"skybridge/internal/ycsb"
+)
+
+// ServerMode is the server threading configuration of §6.5.
+type ServerMode int
+
+// Server modes.
+const (
+	// ModeST: one working thread per server, shared by all clients
+	// (cross-core IPC for most of them).
+	ModeST ServerMode = iota
+	// ModeMT: one server working thread pinned to every core; clients
+	// talk to their local thread over the fastpath.
+	ModeMT
+	// ModeSB: servers are SkyBridge servers; clients make direct calls.
+	ModeSB
+)
+
+// String implements fmt.Stringer.
+func (m ServerMode) String() string {
+	switch m {
+	case ModeST:
+		return "ST-Server"
+	case ModeMT:
+		return "MT-Server"
+	case ModeSB:
+		return "SkyBridge"
+	default:
+		return fmt.Sprintf("ServerMode(%d)", int(m))
+	}
+}
+
+// DBStack is an assembled three-tier pipeline: client DBs -> FS server ->
+// block-device server.
+type DBStack struct {
+	W       *World
+	FS      *fs.FS
+	Dev     *blockdev.Device
+	fsID    int // SkyBridge server id (ModeSB)
+	mode    ServerMode
+	eps     []*mk.Endpoint
+	fsProc  *mk.Process
+	devProc *mk.Process
+}
+
+// BuildDBStack boots the servers for the given mode. Must be called before
+// clients spawn; it runs the engine to complete registration/service
+// startup, leaving server loops parked.
+func BuildDBStack(w *World, mode ServerMode) (*DBStack, error) {
+	k := w.K
+	st := &DBStack{W: w, mode: mode}
+	st.devProc = k.NewProcess("blockdev")
+	st.fsProc = k.NewProcess("fs")
+	st.Dev = blockdev.New(st.devProc, 32768) // 128 MiB RAM disk
+
+	switch mode {
+	case ModeST, ModeMT:
+		devEP := k.NewEndpoint("dev")
+		fsEP := k.NewEndpoint("fs")
+		st.eps = []*mk.Endpoint{devEP, fsEP}
+		// Device server threads.
+		devCores := []int{1 % len(k.Mach.Cores)}
+		fsCores := []int{0}
+		if mode == ModeMT {
+			devCores = devCores[:0]
+			fsCores = fsCores[:0]
+			for i := range k.Mach.Cores {
+				devCores = append(devCores, i)
+				fsCores = append(fsCores, i)
+			}
+		}
+		for _, c := range devCores {
+			st.devProc.Spawn("srv", k.Mach.Cores[c], func(env *mk.Env) {
+				svc.ServeIPC(env, devEP, st.Dev.Handler())
+			})
+		}
+		st.FS = fs.New(st.fsProc, svc.NewIPC(st.fsProc, devEP))
+		// Thread 0 formats the file system; the other server threads park
+		// until it is mounted.
+		ready := false
+		var readyQ sim.WaitQueue
+		for i, c := range fsCores {
+			first := i == 0
+			st.fsProc.Spawn("srv", k.Mach.Cores[c], func(env *mk.Env) {
+				if first {
+					if err := st.FS.Mkfs(env, st.Dev.Blocks(), 256); err != nil {
+						panic(err)
+					}
+					ready = true
+					for readyQ.Len() > 0 {
+						readyQ.WakeOne(w.Eng, env.Now(), nil)
+					}
+				} else if !ready {
+					readyQ.Wait(env.T)
+				}
+				svc.ServeIPC(env, fsEP, st.FS.Handler())
+			})
+		}
+
+	case ModeSB:
+		sb := w.SB
+		var devID int
+		st.devProc.Spawn("reg", k.Mach.Cores[0], func(env *mk.Env) {
+			var err error
+			devID, err = svc.RegisterSkyBridgeServer(sb, env, 64, st.Dev.Handler())
+			if err != nil {
+				panic(err)
+			}
+		})
+		if err := w.Eng.Run(); err != nil {
+			return nil, err
+		}
+		st.fsProc.Spawn("reg", k.Mach.Cores[0], func(env *mk.Env) {
+			devConn, err := svc.NewSkyBridge(sb, env, devID)
+			if err != nil {
+				panic(err)
+			}
+			st.FS = fs.New(st.fsProc, devConn)
+			if err := st.FS.Mkfs(env, st.Dev.Blocks(), 256); err != nil {
+				panic(err)
+			}
+			st.fsID, err = svc.RegisterSkyBridgeServer(sb, env, 64, st.FS.Handler())
+			if err != nil {
+				panic(err)
+			}
+		})
+		if err := w.Eng.Run(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Close shuts the stack's IPC servers down so the engine can drain.
+func (st *DBStack) Close() {
+	for _, ep := range st.eps {
+		ep.Close()
+	}
+}
+
+// FSConn builds a client connection to the FS service for a client process.
+func (st *DBStack) FSConn(env *mk.Env, client *mk.Process) (svc.Conn, error) {
+	switch st.mode {
+	case ModeSB:
+		return svc.NewSkyBridge(st.W.SB, env, st.fsID)
+	default:
+		return svc.NewIPC(client, st.eps[1]), nil
+	}
+}
+
+// --- Table 4: SQLite3 basic operations ---
+
+// Table4Config sizes the experiment.
+type Table4Config struct {
+	Flavor  mk.Flavor
+	Clients int
+	// OpsPerKind is the measured operations per op kind per client.
+	OpsPerKind int
+	// Preload rows per client before measuring.
+	Preload int
+}
+
+// Table4Row is one (mode, op) measurement.
+type Table4Row struct {
+	Mode ServerMode
+	// OpsPerSec for insert, update, query, delete.
+	Insert, Update, Query, Delete float64
+}
+
+// Table4Result holds one kernel flavor's block of Table 4.
+type Table4Result struct {
+	Flavor mk.Flavor
+	Rows   []Table4Row
+}
+
+// table4Paper reproduces the paper's Table 4 for rendering reference.
+var table4Paper = map[string]map[string][4]float64{
+	"seL4": {
+		"ST-Server": {4839.08, 3943.71, 13245.92, 4326.92},
+		"MT-Server": {6001.82, 4714.52, 14025.37, 5314.04},
+		"SkyBridge": {11251.08, 7335.57, 18610.60, 7339.31},
+	},
+	"Fiasco.OC": {
+		"ST-Server": {1296.83, 1222.83, 8108.11, 1255.23},
+		"MT-Server": {1685.39, 1557.09, 8256.88, 1607.14},
+		"SkyBridge": {5000.00, 4545.45, 15789.47, 4568.53},
+	},
+	"Zircon": {
+		"ST-Server": {1408.42, 1376.77, 9432.34, 1389.64},
+		"MT-Server": {2467.90, 2360.00, 9535.56, 1389.64},
+		"SkyBridge": {7710.63, 6643.24, 17843.54, 7027.30},
+	},
+}
+
+// Table4 measures insert/update/query/delete throughput for one kernel
+// flavor in the three server configurations.
+func Table4(cfg Table4Config) (*Table4Result, error) {
+	if cfg.Clients == 0 {
+		cfg.Clients = 4
+	}
+	if cfg.OpsPerKind == 0 {
+		cfg.OpsPerKind = 40
+	}
+	if cfg.Preload == 0 {
+		cfg.Preload = 100
+	}
+	res := &Table4Result{Flavor: cfg.Flavor}
+	for _, mode := range []ServerMode{ModeST, ModeMT, ModeSB} {
+		row, err := runTable4Mode(cfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func runTable4Mode(cfg Table4Config, mode ServerMode) (*Table4Row, error) {
+	w := MustWorld(WorldConfig{Flavor: cfg.Flavor, Cores: 4, MemBytes: 8 << 30, SkyBridge: mode == ModeSB})
+	st, err := BuildDBStack(w, mode)
+	if err != nil {
+		return nil, err
+	}
+	k := w.K
+
+	type phaseTimes struct{ ins, upd, qry, del uint64 }
+	times := make([]phaseTimes, cfg.Clients)
+	done := 0
+
+	for ci := 0; ci < cfg.Clients; ci++ {
+		ci := ci
+		client := k.NewProcess(fmt.Sprintf("client%d", ci))
+		core := k.Mach.Cores[ci%len(k.Mach.Cores)]
+		client.Spawn("app", core, func(env *mk.Env) {
+			conn, err := st.FSConn(env, client)
+			if err != nil {
+				panic(err)
+			}
+			fsc := &fs.Client{Conn: conn}
+			d, err := db.Open(env, client, fsc, fmt.Sprintf("db%d", ci))
+			if err != nil {
+				panic(err)
+			}
+			if _, err := d.Exec(env, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+				panic(err)
+			}
+			tab, _ := d.TableByName("t")
+			val := strings.Repeat("x", 100)
+			// Preload rows for update/query/delete phases.
+			for i := 0; i < cfg.Preload; i++ {
+				if _, err := tab.Insert(env, []db.Value{db.IntValue(int64(i)), db.TextValue(val)}); err != nil {
+					panic(err)
+				}
+			}
+			n := cfg.OpsPerKind
+			measure := func(fn func(i int)) uint64 {
+				start := env.Now()
+				for i := 0; i < n; i++ {
+					fn(i)
+				}
+				return env.Now() - start
+			}
+			// Scatter measured keys across the whole preloaded keyspace so
+			// each phase exercises the pager realistically (sequential keys
+			// would all land in one or two cached B+tree leaves), with a
+			// different stride per phase so the query phase does not simply
+			// re-touch the pages the update phase just cached.
+			key := func(i int, stride uint64) int64 {
+				return int64((uint64(i)*stride + uint64(ci)) % uint64(cfg.Preload))
+			}
+			times[ci].ins = measure(func(i int) {
+				if _, err := tab.Insert(env, []db.Value{db.IntValue(int64(cfg.Preload + i)), db.TextValue(val)}); err != nil {
+					panic(err)
+				}
+			})
+			times[ci].upd = measure(func(i int) {
+				k := key(i, 2654435761)
+				if _, err := tab.Update(env, k, []db.Value{db.IntValue(k), db.TextValue(val)}); err != nil {
+					panic(err)
+				}
+			})
+			times[ci].qry = measure(func(i int) {
+				if _, _, err := tab.Get(env, key(i, 1779033703)); err != nil {
+					panic(err)
+				}
+			})
+			times[ci].del = measure(func(i int) {
+				if _, err := tab.Delete(env, int64(i)); err != nil {
+					panic(err)
+				}
+			})
+			done++
+			if done == cfg.Clients {
+				st.Close()
+			}
+		})
+	}
+	if err := w.Eng.Run(); err != nil {
+		return nil, err
+	}
+
+	row := &Table4Row{Mode: mode}
+	agg := func(get func(phaseTimes) uint64) float64 {
+		var total float64
+		for _, t := range times {
+			total += OpsPerSec(cfg.OpsPerKind, get(t))
+		}
+		return total
+	}
+	row.Insert = agg(func(t phaseTimes) uint64 { return t.ins })
+	row.Update = agg(func(t phaseTimes) uint64 { return t.upd })
+	row.Query = agg(func(t phaseTimes) uint64 { return t.qry })
+	row.Delete = agg(func(t phaseTimes) uint64 { return t.del })
+	return row, nil
+}
+
+// Render formats the flavor's Table 4 block.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 (%s): SQLite3 basic operations (ops/s); paper values in parentheses\n", r.Flavor)
+	fmt.Fprintf(&b, "%-11s %19s %19s %19s %19s\n", "", "Insert", "Update", "Query", "Delete")
+	paper := table4Paper[r.Flavor.String()]
+	for _, row := range r.Rows {
+		p := paper[row.Mode.String()]
+		fmt.Fprintf(&b, "%-11s %9.0f (%7.0f) %9.0f (%7.0f) %9.0f (%7.0f) %9.0f (%7.0f)\n",
+			row.Mode, row.Insert, p[0], row.Update, p[1], row.Query, p[2], row.Delete, p[3])
+	}
+	return b.String()
+}
+
+// --- Figures 9-11: YCSB-A throughput vs thread count ---
+
+// YCSBConfig sizes the experiment.
+type YCSBConfig struct {
+	Flavor      mk.Flavor
+	Threads     []int
+	Records     int
+	Ops         int  // per thread
+	Virtualized bool // run under the Rootkernel (for Table 5)
+}
+
+// YCSBResult holds throughput series per server mode.
+type YCSBResult struct {
+	Flavor  mk.Flavor
+	Threads []int
+	// Tput[mode][i] is ops/s with Threads[i] client threads.
+	Tput map[ServerMode][]float64
+	// VMExits per run (only meaningful when virtualized).
+	VMExits map[ServerMode][]uint64
+}
+
+// RunYCSB measures one (flavor, mode, threads) cell and returns (ops/s,
+// VM exits during measurement).
+func RunYCSB(cfg YCSBConfig, mode ServerMode, threads int) (float64, uint64, error) {
+	cores := threads
+	if cores < 2 {
+		cores = 2
+	}
+	if cores > 8 {
+		cores = 8
+	}
+	w := MustWorld(WorldConfig{
+		Flavor: cfg.Flavor, Cores: cores, MemBytes: 8 << 30,
+		SkyBridge: mode == ModeSB, Virtualized: cfg.Virtualized,
+	})
+	st, err := BuildDBStack(w, mode)
+	if err != nil {
+		return 0, 0, err
+	}
+	return runYCSBOn(w, st, cfg, threads)
+}
+
+// runYCSBOn runs the YCSB clients on an already-built stack.
+func runYCSBOn(w *World, st *DBStack, cfg YCSBConfig, threads int) (float64, uint64, error) {
+	k := w.K
+
+	wl := ycsb.WorkloadA(cfg.Records)
+	starts := make([]uint64, threads)
+	ends := make([]uint64, threads)
+	done := 0
+
+	// Barrier between the load phase and the measured phase, so the
+	// measurement window covers only steady-state operations.
+	loaded := 0
+	var barrier sim.WaitQueue
+	for ti := 0; ti < threads; ti++ {
+		ti := ti
+		client := k.NewProcess(fmt.Sprintf("ycsb%d", ti))
+		core := k.Mach.Cores[ti%len(k.Mach.Cores)]
+		client.Spawn("app", core, func(env *mk.Env) {
+			conn, err := st.FSConn(env, client)
+			if err != nil {
+				panic(err)
+			}
+			fsc := &fs.Client{Conn: conn}
+			d, err := db.Open(env, client, fsc, fmt.Sprintf("y%d", ti))
+			if err != nil {
+				panic(err)
+			}
+			if _, err := d.Exec(env, "CREATE TABLE u (id INTEGER PRIMARY KEY, f TEXT)"); err != nil {
+				panic(err)
+			}
+			tab, _ := d.TableByName("u")
+			for i := 0; i < cfg.Records; i++ {
+				if _, err := tab.Insert(env, []db.Value{db.IntValue(int64(i)), db.TextValue(ycsb.RecordValue(wl, int64(i)))}); err != nil {
+					panic(err)
+				}
+			}
+			gen := ycsb.NewGenerator(wl, int64(1000+ti))
+			// Wait for every client to finish loading.
+			env.T.Checkpoint()
+			loaded++
+			if loaded < threads {
+				barrier.Wait(env.T)
+				env.Enter()
+			} else {
+				k.Mach.ResetVMExitCounts()
+				for barrier.Len() > 0 {
+					barrier.WakeOne(w.Eng, env.Now(), nil)
+				}
+			}
+			starts[ti] = env.Now()
+			for i := 0; i < cfg.Ops; i++ {
+				op := gen.Next()
+				switch op.Kind {
+				case ycsb.OpRead:
+					if _, _, err := tab.Get(env, op.Key); err != nil {
+						panic(err)
+					}
+				case ycsb.OpUpdate:
+					if _, err := tab.Update(env, op.Key, []db.Value{db.IntValue(op.Key), db.TextValue(op.Value)}); err != nil {
+						panic(err)
+					}
+				}
+			}
+			ends[ti] = env.Now()
+			done++
+			if done == threads {
+				st.Close()
+			}
+		})
+	}
+	if err := w.Eng.Run(); err != nil {
+		return 0, 0, err
+	}
+	var minStart, maxEnd uint64 = ^uint64(0), 0
+	for i := 0; i < threads; i++ {
+		if starts[i] < minStart {
+			minStart = starts[i]
+		}
+		if ends[i] > maxEnd {
+			maxEnd = ends[i]
+		}
+	}
+	tput := OpsPerSec(cfg.Ops*threads, maxEnd-minStart)
+	return tput, k.Mach.TotalVMExits(), nil
+}
+
+// Figure9to11 regenerates the YCSB-A scalability figure for one flavor
+// (Figure 9 = seL4, 10 = Fiasco.OC, 11 = Zircon).
+func Figure9to11(cfg YCSBConfig) (*YCSBResult, error) {
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{1, 2, 4, 8}
+	}
+	if cfg.Records == 0 {
+		cfg.Records = 400
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 60
+	}
+	res := &YCSBResult{
+		Flavor: cfg.Flavor, Threads: cfg.Threads,
+		Tput:    make(map[ServerMode][]float64),
+		VMExits: make(map[ServerMode][]uint64),
+	}
+	for _, mode := range []ServerMode{ModeST, ModeMT, ModeSB} {
+		for _, th := range cfg.Threads {
+			tput, exits, err := RunYCSB(cfg, mode, th)
+			if err != nil {
+				return nil, err
+			}
+			res.Tput[mode] = append(res.Tput[mode], tput)
+			res.VMExits[mode] = append(res.VMExits[mode], exits)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the figure.
+func (r *YCSBResult) Render() string {
+	var b strings.Builder
+	fig := map[mk.Flavor]string{mk.SeL4: "Figure 9", mk.Fiasco: "Figure 10", mk.Zircon: "Figure 11"}[r.Flavor]
+	fmt.Fprintf(&b, "%s: YCSB-A throughput on %s (ops/s)\n", fig, r.Flavor)
+	fmt.Fprintf(&b, "%-11s", "mode")
+	for _, th := range r.Threads {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("%d-thread", th))
+	}
+	fmt.Fprintln(&b)
+	for _, mode := range []ServerMode{ModeST, ModeMT, ModeSB} {
+		fmt.Fprintf(&b, "%-11s", mode)
+		for _, v := range r.Tput[mode] {
+			fmt.Fprintf(&b, " %10.0f", v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// --- Table 5: virtualization overhead ---
+
+// Table5Row is one configuration's throughput.
+type Table5Row struct {
+	Threads    int
+	Native     float64
+	Rootkernel float64
+	VMExits    uint64
+}
+
+// Table5Result reproduces Table 5.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5 runs YCSB-A on seL4 (MT servers, no SkyBridge) natively and under
+// the Rootkernel and reports throughput plus VM-exit counts.
+func Table5(records, ops int) (*Table5Result, error) {
+	if records == 0 {
+		records = 400
+	}
+	if ops == 0 {
+		ops = 60
+	}
+	res := &Table5Result{}
+	for _, th := range []int{1, 8} {
+		cfg := ycsbCfg(records, ops)
+		native, _, err := RunYCSB(cfg, ModeMT, th)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Virtualized = true
+		virt, exits, err := RunYCSB(cfg, ModeMT, th)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table5Row{Threads: th, Native: native, Rootkernel: virt, VMExits: exits})
+	}
+	return res, nil
+}
+
+func ycsbCfg(records, ops int) YCSBConfig {
+	return YCSBConfig{Flavor: mk.SeL4, Records: records, Ops: ops}
+}
+
+// Render formats the table.
+func (r *Table5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: YCSB-A throughput, native vs Rootkernel (no SkyBridge), and VM exits\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %10s\n", "", "Native", "Rootkernel", "#VM exits")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "YCSB-A %d thread%s      %12.2f %12.2f %10d\n",
+			row.Threads, map[bool]string{true: "s", false: " "}[row.Threads > 1], row.Native, row.Rootkernel, row.VMExits)
+	}
+	return b.String()
+}

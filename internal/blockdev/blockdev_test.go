@@ -1,0 +1,112 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+	"skybridge/internal/sim"
+	"skybridge/internal/svc"
+)
+
+func devWorld(t *testing.T, blocks int, body func(env *mk.Env, d *Device, c *Client)) {
+	t.Helper()
+	eng := sim.NewEngine(hw.NewMachine(hw.MachineConfig{Cores: 2, MemBytes: 1 << 30}))
+	k := mk.New(mk.Config{Flavor: mk.SeL4}, eng)
+	p := k.NewProcess("dev")
+	d := New(p, blocks)
+	c := &Client{Conn: svc.NewLocal(d.Handler())}
+	p.Spawn("t", k.Mach.Cores[0], func(env *mk.Env) { body(env, d, c) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	devWorld(t, 64, func(env *mk.Env, d *Device, c *Client) {
+		blk := make([]byte, BlockSize)
+		for i := range blk {
+			blk[i] = byte(i * 3)
+		}
+		if err := c.WriteBlock(env, 7, blk); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := c.ReadBlock(env, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, blk) {
+			t.Error("block corrupted")
+		}
+		if d.Reads != 1 || d.Writes != 1 {
+			t.Errorf("stats: %d reads, %d writes", d.Reads, d.Writes)
+		}
+	})
+}
+
+func TestBlocksAreIndependent(t *testing.T) {
+	devWorld(t, 8, func(env *mk.Env, d *Device, c *Client) {
+		for bn := 0; bn < 8; bn++ {
+			blk := bytes.Repeat([]byte{byte(bn + 1)}, BlockSize)
+			if err := c.WriteBlock(env, bn, blk); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for bn := 0; bn < 8; bn++ {
+			got, _ := c.ReadBlock(env, bn)
+			if got[0] != byte(bn+1) || got[BlockSize-1] != byte(bn+1) {
+				t.Errorf("block %d contains %d", bn, got[0])
+			}
+		}
+	})
+}
+
+func TestFreshBlocksAreZero(t *testing.T) {
+	devWorld(t, 4, func(env *mk.Env, d *Device, c *Client) {
+		got, err := c.ReadBlock(env, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, b := range got {
+			if b != 0 {
+				t.Error("fresh block not zeroed")
+				return
+			}
+		}
+	})
+}
+
+func TestBadRequests(t *testing.T) {
+	devWorld(t, 4, func(env *mk.Env, d *Device, c *Client) {
+		if _, err := c.ReadBlock(env, 4); err == nil {
+			t.Error("out-of-range read accepted")
+		}
+		if _, err := c.ReadBlock(env, -1); err == nil {
+			t.Error("negative block accepted")
+		}
+		if err := c.WriteBlock(env, 0, []byte{1, 2, 3}); err == nil {
+			t.Error("short write accepted")
+		}
+		resp, err := c.Conn.Invoke(env, Req{Op: 99})
+		if err != nil || resp.Status != StatusBadOp {
+			t.Errorf("unknown op: %v %d", err, resp.Status)
+		}
+	})
+}
+
+func TestSizeAndFlush(t *testing.T) {
+	devWorld(t, 123, func(env *mk.Env, d *Device, c *Client) {
+		resp, err := c.Conn.Invoke(env, Req{Op: OpSize})
+		if err != nil || resp.Vals[0] != 123 {
+			t.Errorf("size: %v %d", err, resp.Vals[0])
+		}
+		if err := c.Flush(env); err != nil {
+			t.Error(err)
+		}
+	})
+}

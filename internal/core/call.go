@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+)
+
+// trampEntryVA/trampReturnVA are the fetch targets charged during a call.
+const (
+	trampEntryLen  = 64
+	trampReturnVA  = TrampolineVA + 0x80
+	trampReturnLen = 48
+)
+
+// DirectCall implements direct_server_call: the client's thread executes
+// the server's handler in the server's address space with no kernel
+// involvement. Round-trip direct cost is ~396 cycles warm (2x VMFUNC plus
+// ~64 cycles/leg of register save/restore and stack installation, §6.3).
+func (sb *SkyBridge) DirectCall(env *mk.Env, serverID int, req Request) (Response, error) {
+	return sb.call(env, serverID, req, 0, 0, false)
+}
+
+// DirectCallTimeout is DirectCall with the §7 DoS defense: if the server
+// exceeds the cycle budget, control is forced back to the client with
+// ErrTimeout.
+func (sb *SkyBridge) DirectCallTimeout(env *mk.Env, serverID int, req Request, timeout uint64) (Response, error) {
+	return sb.call(env, serverID, req, timeout, 0, false)
+}
+
+// DirectCallWithKey lets tests present an arbitrary calling key (modelling
+// a malicious client); normal clients always present their issued key.
+func (sb *SkyBridge) DirectCallWithKey(env *mk.Env, serverID int, req Request, key uint64) (Response, error) {
+	return sb.call(env, serverID, req, 0, key, true)
+}
+
+func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64, forcedKey uint64, useForced bool) (Response, error) {
+	cpu := env.T.Core
+	conn, ok := sb.bindings[env.P][serverID]
+	if !ok {
+		return Response{}, ErrNotRegistered
+	}
+	srv := conn.Server
+	env.T.Checkpoint()
+	// Restore our address space (and, via the Rootkernel context-switch
+	// hook, our EPTP list) if other threads ran on this core meanwhile.
+	env.Enter()
+
+	// --- client-side trampoline ---
+	if err := cpu.TouchCode(TrampolineVA, trampEntryLen); err != nil {
+		return Response{}, fmt.Errorf("core: trampoline fetch: %w", err)
+	}
+	cpu.Tick(costSaveRegs)
+	// Per-call client key (the server must echo it back, §4.4).
+	clientKey := sb.rng.Uint64()
+	cpu.Tick(6)
+
+	presented := conn.ServerKey
+	if useForced {
+		presented = forcedKey
+	}
+
+	// Long payloads go through the connection's shared buffer: one copy,
+	// client side, user mode.
+	if req.Len > 0 {
+		if req.Len > conn.BufLen {
+			return Response{}, fmt.Errorf("core: payload %d exceeds shared buffer %d", req.Len, conn.BufLen)
+		}
+		if req.Buf != conn.ClientBuf {
+			// Copy the caller's internal buffer into the shared buffer;
+			// callers that build requests in place skip this copy.
+			data := make([]byte, req.Len)
+			env.Read(req.Buf, data, req.Len)
+			env.Write(conn.ClientBuf, data, req.Len)
+		}
+	}
+
+	// Resolve the server's hardware EPTP slot in the context process's
+	// slot cache (user-level hit; hypercall + possible LRU eviction on a
+	// miss — the paper's §10 extension). The active chain's slots are
+	// pinned so nested returns always find their EPT resident.
+	tc := sb.tc[env.T]
+	if tc == nil {
+		tc = &threadCtx{proc: env.P, stack: []int{0}}
+		sb.tc[env.T] = tc
+	}
+	slot, _, err := sb.RK.ResolveSlot(cpu, tc.proc, serverID, tc.stack)
+	if err != nil {
+		return Response{}, fmt.Errorf("core: slot resolve for server %d: %w", serverID, err)
+	}
+
+	// --- the EPTP switch ---
+	if err := cpu.VMFunc(0, slot); err != nil {
+		return Response{}, fmt.Errorf("core: vmfunc to server %d (slot %d): %w", serverID, slot, err)
+	}
+	sb.afterSwitch(cpu)
+	tc.stack = append(tc.stack, slot)
+
+	// --- server-side trampoline ---
+	cpu.Tick(costInstallStack)
+	// Calling-key check against the server's table, read through the
+	// server's address space (§4.4: "checks the key against its
+	// calling-key table").
+	var kb [8]byte
+	senv := env.DirectEnv(srv.Proc)
+	senv.Read(srv.keyTable+hw.VA(8*conn.slot), kb[:], 8)
+	stored := leU64(kb)
+	cpu.Tick(4) // compare + branch
+	if stored != presented {
+		// Deny and notify the Subkernel (§4.4).
+		srv.Rejected++
+		cpu.Syscall()
+		cpu.Swapgs()
+		cpu.Tick(50) // kernel logging of the violation
+		cpu.Swapgs()
+		cpu.Sysret()
+		sb.switchBack(env, tc)
+		return Response{}, ErrBadKey
+	}
+
+	// --- invoke the registered handler on the caller's thread ---
+	srv.Calls++
+	req.SharedBuf = conn.ServerBuf
+	start := cpu.Clock
+	resp := srv.Handler(senv, req)
+
+	if timeout > 0 && cpu.Clock-start > timeout {
+		// Forced return (§7): the control flow comes back to the client.
+		sb.switchBack(env, tc)
+		return Response{}, ErrTimeout
+	}
+
+	// --- return thunk ---
+	if err := cpu.TouchCode(trampReturnVA, trampReturnLen); err != nil {
+		return Response{}, fmt.Errorf("core: return thunk fetch: %w", err)
+	}
+	cpu.Tick(costRestoreRegs)
+	sb.switchBack(env, tc)
+
+	// Client re-checks the echoed client key ("the receiver should return
+	// this key to the sender, which rechecks it").
+	echoed := clientKey // the simulated trampoline echoes it in a register
+	cpu.Tick(6)
+	if echoed != clientKey {
+		return Response{}, ErrReturnKey
+	}
+	sb.DirectCalls++
+	return resp, nil
+}
+
+// switchBack VMFUNCs to the caller's previous EPTP slot and pops the call
+// chain (clearing the thread's context when the chain fully unwinds).
+func (sb *SkyBridge) switchBack(env *mk.Env, tc *threadCtx) {
+	cpu := env.T.Core
+	prev := tc.stack[len(tc.stack)-2]
+	if err := cpu.VMFunc(0, prev); err != nil {
+		panic(fmt.Sprintf("core: vmfunc back to slot %d: %v", prev, err))
+	}
+	sb.afterSwitch(cpu)
+	tc.stack = tc.stack[:len(tc.stack)-1]
+	if len(tc.stack) == 1 {
+		delete(sb.tc, env.T)
+	}
+}
+
+// afterSwitch applies the no-VPID ablation: flush both TLBs on every EPTP
+// switch, as hardware without VPID tagging would.
+func (sb *SkyBridge) afterSwitch(cpu *hw.CPU) {
+	if sb.FlushTLBOnSwitch {
+		cpu.ITLB.FlushAll()
+		cpu.DTLB.FlushAll()
+	}
+}
+
+// ReadReply copies a long reply out of the connection's shared buffer into
+// buf (client side, charged).
+func (conn *Connection) ReadReply(env *mk.Env, buf []byte, n int) {
+	env.Read(conn.ClientBuf, buf, n)
+}
+
+// WriteRequest writes payload bytes directly into the shared buffer
+// (clients that build their request in place skip the trampoline copy).
+func (conn *Connection) WriteRequest(env *mk.Env, data []byte) {
+	env.Write(conn.ClientBuf, data, len(data))
+}
+
+func leU64(b [8]byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,394 @@
+// Package core implements SkyBridge itself: the kernel-less synchronous
+// IPC facility of the paper. A client registered to a server invokes the
+// server's handler *directly*, on its own thread and scheduling quantum,
+// by executing VMFUNC in user mode: the EPTP switch makes the hardware
+// translate all subsequent virtual addresses through the server's page
+// table (the Rootkernel remapped the client's CR3 GPA, §4.3), so no
+// syscall, no scheduler, and no CR3 write appear anywhere on the path.
+//
+// The package implements the full §4 design:
+//
+//   - register_server / register_client_to_server / direct_server_call
+//     (Figure 4's programming model);
+//   - the trampoline (§4.4): register save/restore, shared-buffer copy for
+//     long messages, VMFUNC, server stack installation, with per-step cycle
+//     charging calibrated to the paper's 396-cycle round trip;
+//   - per-process calling-key tables defending against illegal server
+//     calls and illegal client returns, with the keys held in simulated
+//     memory and checked with charged reads;
+//   - per-connection shared buffers bound to server threads;
+//   - binary scanning/rewriting of every registering process's code pages
+//     (via internal/rewrite), closing the VMFUNC-faking attack;
+//   - the timeout mechanism against denial-of-service servers (§7).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"skybridge/internal/hv"
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+	"skybridge/internal/rewrite"
+	"skybridge/internal/sim"
+)
+
+// Architected virtual addresses.
+const (
+	// TrampolineVA is where the trampoline code page is mapped in every
+	// registered process.
+	TrampolineVA hw.VA = 0x20_0000
+	// RewritePageVA is the rewriting page (second page of the address
+	// space, §5.1).
+	RewritePageVA hw.VA = hw.VA(rewrite.DefaultRewriteBase)
+	// KeyTableVA is where a server's calling-key table page is mapped.
+	KeyTableVA hw.VA = 0x21_0000
+	// FuncListVA is where the server function list is mapped in clients.
+	FuncListVA hw.VA = 0x22_0000
+)
+
+// Trampoline cost constants (cycles), calibrated so that a warm direct
+// call round trip costs ~396 cycles: 2x VMFUNC (134 each) plus 2x ~64
+// cycles of "all other operations, such as saving and restoring register
+// values and installing the target stack" (§6.3).
+const (
+	costSaveRegs     = 40
+	costRestoreRegs  = 30
+	costInstallStack = 22
+)
+
+// Errors.
+var (
+	ErrBadKey        = errors.New("core: calling key rejected")
+	ErrNoSuchServer  = errors.New("core: unknown server id")
+	ErrConnLimit     = errors.New("core: server connection limit reached")
+	ErrTimeout       = errors.New("core: direct call timed out")
+	ErrReturnKey     = errors.New("core: client return-key mismatch")
+	ErrNotRegistered = errors.New("core: process not registered to server")
+)
+
+// Handler is a server's registered function. env is a direct Env in the
+// server's address space on the caller's thread; req.SharedBuf points at
+// the connection's shared buffer in server VAs.
+type Handler func(env *mk.Env, req Request) Response
+
+// Request is the argument set of a direct server call.
+type Request struct {
+	Regs [4]uint64
+	// Buf/Len locate a long payload in the *caller's* address space; the
+	// trampoline copies it into the connection's shared buffer.
+	Buf hw.VA
+	Len int
+	// SharedBuf (set by the trampoline) is the server-side VA of the
+	// connection's shared buffer holding the payload.
+	SharedBuf hw.VA
+}
+
+// Response is the result of a direct server call. A long reply is written
+// by the server into the shared buffer (at req.SharedBuf); Len tells the
+// client how much to read back.
+type Response struct {
+	Regs [4]uint64
+	Len  int
+}
+
+// Server is a registered SkyBridge server.
+type Server struct {
+	ID       int // global EPTP-list index, assigned by the Rootkernel
+	Proc     *mk.Process
+	Handler  Handler
+	MaxConns int
+
+	// FuncAddr is the registered handler address inside the server (the
+	// trampoline "calls the server's registered function according to the
+	// server ID").
+	FuncAddr hw.VA
+
+	// keyTableVAServer holds the calling-key table page (server VA space).
+	keyTable hw.VA
+	conns    []*Connection
+
+	// Stats.
+	Calls    uint64
+	Rejected uint64
+}
+
+// Connection binds one client registration to a server: a dedicated server
+// stack and a shared buffer mapped into both processes.
+type Connection struct {
+	Server *Server
+	Client *mk.Process
+
+	// ServerKey is the key the client presents on every call; it lives in
+	// the server's calling-key table.
+	ServerKey uint64
+
+	// Shared buffer, mapped in both address spaces.
+	BufFrames []hw.GPA
+	ClientBuf hw.VA
+	ServerBuf hw.VA
+	BufLen    int
+
+	// Stack is the server-side stack for this connection's calls.
+	Stack hw.VA
+
+	slot int // index in the server's key table
+}
+
+// SkyBridge ties a Subkernel and Rootkernel together into the IPC facility.
+type SkyBridge struct {
+	K  *mk.Kernel
+	RK *hv.Rootkernel
+
+	servers map[int]*Server
+	// bindings[client] lists the servers the client registered to.
+	bindings map[*mk.Process]map[int]*Connection
+	// tc tracks each thread's active direct-call chain: the EPT-context
+	// process (the top-level client whose EPTP list and CR3 are live) and
+	// the stack of hardware slots the chain has switched through. The
+	// stack doubles as the pin set for LRU slot eviction (eptplru.go).
+	tc map[*sim.Thread]*threadCtx
+
+	rng *rand.Rand
+
+	// FlushTLBOnSwitch models hardware without VPID tagging: every EPTP
+	// switch flushes the TLBs. It exists only as the ablation baseline for
+	// the VPID-tagged design (Table 2's 134-cycle VMFUNC depends on VPID).
+	FlushTLBOnSwitch bool
+
+	// Rewrites counts processes whose code was scanned and rewritten.
+	Rewrites int
+	// DirectCalls counts completed direct server calls.
+	DirectCalls uint64
+}
+
+// New creates the SkyBridge facility over a booted Rootkernel.
+func New(k *mk.Kernel, rk *hv.Rootkernel) *SkyBridge {
+	return &SkyBridge{
+		K:        k,
+		RK:       rk,
+		servers:  make(map[int]*Server),
+		bindings: make(map[*mk.Process]map[int]*Connection),
+		tc:       make(map[*sim.Thread]*threadCtx),
+		rng:      rand.New(rand.NewSource(0x5B)), // deterministic key stream
+	}
+}
+
+// threadCtx is one thread's direct-call chain state.
+type threadCtx struct {
+	proc  *mk.Process
+	stack []int // hardware slots; stack[len-1] is the current view
+}
+
+// prepareProcess maps the trampoline, scans and rewrites the process's code
+// pages, and maps the rewriting page. Idempotent per process.
+func (sb *SkyBridge) prepareProcess(p *mk.Process) error {
+	if p.Ext != nil {
+		return nil
+	}
+	// Map the trampoline code page (real x86 bytes; see trampoline.go).
+	tramp := TrampolineCode()
+	frame := sb.K.Mach.Mem.MustAllocFrame()
+	sb.K.Mach.Mem.Write(frame, tramp)
+	p.MapAt(TrampolineVA, []hw.GPA{hw.GPA(frame)}, hw.PTEUser)
+
+	// Scan and rewrite the process's own code (§5): after this, the only
+	// executable VMFUNC bytes in the process are the trampoline's.
+	if err := sb.scanAndRewrite(p); err != nil {
+		return err
+	}
+	p.Ext = &procExt{}
+	return nil
+}
+
+// scanAndRewrite neutralizes every VMFUNC byte pattern in p's mapped text,
+// installing (or replacing) the rewriting page as needed.
+func (sb *SkyBridge) scanAndRewrite(p *mk.Process) error {
+	if p.CodeSize == 0 {
+		return nil
+	}
+	rw := rewrite.New(uint64(p.CodeBase))
+	res, err := rw.Rewrite(p.ReadCode())
+	if err != nil {
+		return fmt.Errorf("core: rewriting %s: %w", p.Name, err)
+	}
+	p.WriteCode(res.Code)
+	if len(res.RewritePage) > 0 {
+		rpFrame := sb.K.Mach.Mem.MustAllocFrame()
+		sb.K.Mach.Mem.Write(rpFrame, res.RewritePage)
+		p.MapAt(RewritePageVA, []hw.GPA{hw.GPA(rpFrame)}, hw.PTEUser)
+	}
+	sb.Rewrites++
+	return nil
+}
+
+// RemapCodePages implements the §9 W⊕X discipline for dynamic code: a
+// registered process that generated code (a JIT, a live updater) writes it
+// while the pages are non-executable, then asks the Subkernel to remap
+// them executable. The Subkernel rescans and rewrites the new text before
+// granting execute permission, so dynamically generated VMFUNCs are
+// neutralized exactly like static ones.
+func (sb *SkyBridge) RemapCodePages(env *mk.Env, newCode []byte) error {
+	p := env.P
+	if p.Ext == nil {
+		return fmt.Errorf("core: %s is not registered with SkyBridge", p.Name)
+	}
+	cpu := env.T.Core
+	cpu.Syscall()
+	cpu.Swapgs()
+	defer func() { cpu.Swapgs(); cpu.Sysret() }()
+	// Remap + rescan cost, proportional to the new text size (§9 suggests
+	// batching to amortize this; we charge the unbatched cost).
+	cpu.Tick(uint64(len(newCode) / 8))
+	p.MapCode(newCode)
+	return sb.scanAndRewrite(p)
+}
+
+type procExt struct{}
+
+// RegisterServer implements register_server (Figure 4): the server provides
+// a handler (and its address) plus the maximum number of connections; the
+// kernel maps trampoline and stack pages, rewrites the binary, and the
+// Rootkernel assigns the server's global EPTP index, which doubles as the
+// server ID.
+func (sb *SkyBridge) RegisterServer(env *mk.Env, maxConns int, funcAddr hw.VA, handler Handler) (int, error) {
+	p := env.P
+	if err := sb.prepareProcess(p); err != nil {
+		return 0, err
+	}
+	// Registration is a syscall.
+	cpu := env.T.Core
+	cpu.Syscall()
+	cpu.Swapgs()
+	defer func() { cpu.Swapgs(); cpu.Sysret() }()
+	// Scanning cost is proportional to code size (off the IPC path).
+	cpu.Tick(uint64(p.CodeSize / 8))
+
+	id, err := sb.RK.RegisterServer(cpu, p)
+	if err != nil {
+		return 0, err
+	}
+	// Key table page, mapped user-read-only into the server (the server's
+	// trampoline checks keys against it; only the kernel writes it).
+	ktFrame := sb.K.Mach.Mem.MustAllocFrame()
+	p.MapAt(KeyTableVA+hw.VA((id-1)*hw.PageSize), []hw.GPA{hw.GPA(ktFrame)}, hw.PTEUser)
+
+	srv := &Server{
+		ID:       id,
+		Proc:     p,
+		Handler:  handler,
+		MaxConns: maxConns,
+		FuncAddr: funcAddr,
+		keyTable: KeyTableVA + hw.VA((id-1)*hw.PageSize),
+	}
+	sb.servers[id] = srv
+	return id, nil
+}
+
+// RegisterClient implements register_client_to_server: maps trampoline and
+// function-list pages into the client, rewrites its code, asks the
+// Rootkernel to bind client and server at the EPT level (and every server
+// the target server itself depends on), creates the connection's shared
+// buffer and server stack, and issues the calling key.
+func (sb *SkyBridge) RegisterClient(env *mk.Env, serverID int) (*Connection, error) {
+	p := env.P
+	srv, ok := sb.servers[serverID]
+	if !ok {
+		return nil, ErrNoSuchServer
+	}
+	if len(srv.conns) >= srv.MaxConns {
+		return nil, ErrConnLimit
+	}
+	if err := sb.prepareProcess(p); err != nil {
+		return nil, err
+	}
+	cpu := env.T.Core
+	cpu.Syscall()
+	cpu.Swapgs()
+	defer func() { cpu.Swapgs(); cpu.Sysret() }()
+	cpu.Tick(uint64(p.CodeSize / 8))
+
+	// Bind at the EPT level: the target server and, transitively, every
+	// server it is itself a client of ("the Rootkernel also writes all
+	// processes' EPTPs that the server depends on into the client's EPTP
+	// list", §4.2).
+	for _, dep := range sb.dependencyClosure(srv) {
+		if _, err := sb.RK.Bind(cpu, p, dep.Proc, dep.ID); err != nil {
+			return nil, err
+		}
+	}
+	if err := sb.RK.InstallFor(cpu, p); err != nil {
+		return nil, err
+	}
+
+	// Shared buffer: one page pair per connection, mapped in both.
+	const bufPages = 4
+	frames := make([]hw.GPA, bufPages)
+	for i := range frames {
+		frames[i] = hw.GPA(sb.K.Mach.Mem.MustAllocFrame())
+	}
+	conn := &Connection{
+		Server:    srv,
+		Client:    p,
+		ServerKey: sb.rng.Uint64(),
+		BufFrames: frames,
+		ClientBuf: p.MapFrames(frames, hw.PTEUser|hw.PTEWrite),
+		ServerBuf: srv.Proc.MapFrames(frames, hw.PTEUser|hw.PTEWrite),
+		BufLen:    bufPages * hw.PageSize,
+		Stack:     srv.Proc.AllocStack(4 * hw.PageSize),
+		slot:      len(srv.conns),
+	}
+	// Write the key into the server's calling-key table page (kernel-side
+	// write through physical memory).
+	ktGPA, _, okWalk := srv.Proc.PT.Walk(srv.keyTable)
+	if !okWalk {
+		return nil, fmt.Errorf("core: server key table unmapped")
+	}
+	writeU64Phys(sb.K.Mach.Mem, hw.HPA(ktGPA)+hw.HPA(8*conn.slot), conn.ServerKey)
+
+	srv.conns = append(srv.conns, conn)
+	if sb.bindings[p] == nil {
+		sb.bindings[p] = make(map[int]*Connection)
+	}
+	sb.bindings[p][serverID] = conn
+	return conn, nil
+}
+
+// dependencyClosure returns srv plus every server reachable through srv's
+// own client registrations.
+func (sb *SkyBridge) dependencyClosure(srv *Server) []*Server {
+	seen := map[int]bool{}
+	var out []*Server
+	var walk func(s *Server)
+	walk = func(s *Server) {
+		if seen[s.ID] {
+			return
+		}
+		seen[s.ID] = true
+		out = append(out, s)
+		for id := range sb.bindings[s.Proc] {
+			if dep, ok := sb.servers[id]; ok {
+				walk(dep)
+			}
+		}
+	}
+	walk(srv)
+	return out
+}
+
+// Connection lookup for a process.
+func (sb *SkyBridge) ConnectionOf(p *mk.Process, serverID int) (*Connection, bool) {
+	c, ok := sb.bindings[p][serverID]
+	return c, ok
+}
+
+// Server returns a registered server by ID.
+func (sb *SkyBridge) Server(id int) (*Server, bool) {
+	s, ok := sb.servers[id]
+	return s, ok
+}
+
+func writeU64Phys(mem *hw.PhysMem, at hw.HPA, v uint64) {
+	mem.WriteU64(at, v)
+}

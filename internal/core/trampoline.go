@@ -1,0 +1,72 @@
+package core
+
+import "skybridge/internal/isa"
+
+// TrampolineCode assembles the trampoline page: the only code in a
+// registered process allowed to contain the VMFUNC encoding. The layout is
+//
+//	+0x00  direct_server_call entry: save registers, load the calling key,
+//	       copy long payloads to the shared buffer (out of line), VMFUNC to
+//	       the target EPTP index, install the connection stack, and call
+//	       the server's registered function.
+//	+0x80  return thunk: reload the caller's stack, VMFUNC back to the
+//	       caller's EPTP index, restore registers, return the reply key.
+//
+// The simulator drives the trampoline's state machine from Go (the handler
+// is a Go function), but the page content is real machine code: it is what
+// the rewriter must leave untouched, what instruction fetches during a
+// direct call hit in the i-cache, and what an attacker who maps the page
+// would find.
+func TrampolineCode() []byte {
+	var a isa.Asm
+
+	// --- entry: direct_server_call(rdi=server id, rsi=key, rdx=arg) ---
+	a.PushReg(isa.RBP)
+	a.PushReg(isa.RBX)
+	a.PushReg(isa.R12)
+	a.PushReg(isa.R13)
+	a.PushReg(isa.R14)
+	a.PushReg(isa.R15)
+	a.MovRR(isa.RBP, isa.RSP)
+	// EPTP switching: VMFUNC leaf 0 (rax=0), index in rcx.
+	a.MovRI32(isa.RAX, 0)
+	a.MovRR(isa.RCX, isa.RDI)
+	a.Vmfunc()
+	// Now translating through the server's page table: install the
+	// connection stack (r12 carries it) and check the calling key against
+	// the table slot (r13 points at it).
+	a.MovRR(isa.RSP, isa.R12)
+	a.MovRM(isa.RBX, isa.Mem{Base: isa.R13, Index: isa.NoReg, Scale: 1})
+	a.AluRR(isa.CMP, isa.RBX, isa.RSI)
+	a.Jcc(isa.CondNE, 0x30) // deny path (kernel notification) lives below
+	// Call the server's registered handler (address in r14).
+	a.PushReg(isa.R14)
+	a.Ret() // indirect transfer to the handler via the pushed address
+
+	// Pad to the return thunk at +0x80.
+	for a.Len() < 0x80 {
+		a.Int3()
+	}
+
+	// --- return thunk ---
+	a.MovRR(isa.RSP, isa.RBP)
+	a.MovRI32(isa.RAX, 0)
+	a.MovRR(isa.RCX, isa.R15) // caller's EPTP index, saved at entry
+	a.Vmfunc()
+	a.PopReg(isa.R15)
+	a.PopReg(isa.R14)
+	a.PopReg(isa.R13)
+	a.PopReg(isa.R12)
+	a.PopReg(isa.RBX)
+	a.PopReg(isa.RBP)
+	a.Ret()
+
+	// --- deny path: notify the kernel of an illegal call (§4.4) ---
+	a.Syscall()
+	a.Ret()
+
+	code := a.Bytes()
+	page := make([]byte, 4096)
+	copy(page, code)
+	return page
+}

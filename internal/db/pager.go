@@ -1,0 +1,322 @@
+package db
+
+import (
+	"fmt"
+
+	"skybridge/internal/fs"
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+)
+
+// PageSize is the database page size.
+const PageSize = 4096
+
+// cachePages is the pager cache capacity ("the SQLite3 has an internal
+// cache to handle the recent read requests, which thus avoids a large
+// number of IPC operations" — the reason Table 4's query row speeds up
+// least).
+const cachePages = 64
+
+// page is a cached database page. Data is authoritative while cached;
+// slotVA charges accesses against the client's address space.
+type page struct {
+	no     int
+	data   []byte
+	slotVA hw.VA
+	dirty  bool
+	lru    uint64
+	valid  bool
+}
+
+// Pager caches database pages over a file served by the FS, with a
+// rollback journal providing transactional atomicity.
+type Pager struct {
+	fsc     *fs.Client
+	fd      uint64
+	jname   string
+	name    string
+	npages  int
+	cache   [cachePages]page
+	index   map[int]*page
+	clock   uint64
+	inTx    bool
+	journal map[int][]byte // original images of pages dirtied this tx
+
+	// Stats.
+	Hits, Misses uint64
+	FsReads      uint64
+	FsWrites     uint64
+}
+
+// OpenPager opens (creating if needed) the database file and its journal,
+// rolling back any hot journal left by a crash.
+func OpenPager(env *mk.Env, proc *mk.Process, fsc *fs.Client, name string) (*Pager, error) {
+	fd, size, err := fsc.Open(env, name, true)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pager{
+		fsc:     fsc,
+		fd:      fd,
+		name:    name,
+		jname:   name + "-journal",
+		npages:  int(size) / PageSize,
+		index:   make(map[int]*page, cachePages),
+		journal: make(map[int][]byte),
+	}
+	region := proc.Alloc(cachePages * PageSize)
+	for i := range p.cache {
+		p.cache[i].slotVA = region + hw.VA(i*PageSize)
+	}
+	if err := p.rollbackHotJournal(env); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NPages returns the current database size in pages.
+func (p *Pager) NPages() int { return p.npages }
+
+// Get returns page no, faulting it in from the FS on a miss.
+func (p *Pager) Get(env *mk.Env, no int) (*page, error) {
+	p.clock++
+	if pg, ok := p.index[no]; ok {
+		p.Hits++
+		pg.lru = p.clock
+		env.Compute(15) // cache lookup
+		return pg, nil
+	}
+	p.Misses++
+	var victim *page
+	for i := range p.cache {
+		pg := &p.cache[i]
+		if !pg.valid {
+			victim = pg
+			break
+		}
+		if pg.dirty {
+			continue // dirty pages are held until commit
+		}
+		if victim == nil || pg.lru < victim.lru {
+			victim = pg
+		}
+	}
+	if victim == nil {
+		return nil, fmt.Errorf("db: page cache full of dirty pages")
+	}
+	if victim.valid {
+		delete(p.index, victim.no)
+	}
+	p.FsReads++
+	data, err := p.fsc.ReadAt(env, p.fd, no*PageSize, PageSize)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < PageSize {
+		data = append(data, make([]byte, PageSize-len(data))...)
+	}
+	victim.no = no
+	victim.data = append(victim.data[:0], data...)
+	victim.dirty = false
+	victim.valid = true
+	victim.lru = p.clock
+	p.index[no] = victim
+	env.Write(victim.slotVA, nil, PageSize)
+	return victim, nil
+}
+
+// read charges and returns n bytes at off of the page.
+func (pg *page) read(env *mk.Env, off, n int) []byte {
+	env.Read(pg.slotVA+hw.VA(off), nil, n)
+	return pg.data[off : off+n]
+}
+
+// Write modifies a page inside the current transaction, journaling its
+// original image first.
+func (p *Pager) Write(env *mk.Env, pg *page, off int, data []byte) error {
+	if !p.inTx {
+		return fmt.Errorf("db: page write outside transaction")
+	}
+	if _, ok := p.journal[pg.no]; !ok {
+		p.journal[pg.no] = append([]byte(nil), pg.data...)
+	}
+	env.Write(pg.slotVA+hw.VA(off), nil, len(data))
+	copy(pg.data[off:], data)
+	pg.dirty = true
+	return nil
+}
+
+// Allocate appends a fresh zeroed page to the database inside the current
+// transaction and returns it.
+func (p *Pager) Allocate(env *mk.Env) (*page, error) {
+	if !p.inTx {
+		return nil, fmt.Errorf("db: allocate outside transaction")
+	}
+	no := p.npages
+	p.npages++
+	pg, err := p.Get(env, no)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pg.data {
+		pg.data[i] = 0
+	}
+	p.journal[no] = nil // newly allocated: rollback just shrinks the file
+	pg.dirty = true
+	env.Write(pg.slotVA, nil, PageSize)
+	return pg, nil
+}
+
+// Begin opens a transaction.
+func (p *Pager) Begin() error {
+	if p.inTx {
+		return fmt.Errorf("db: nested transaction")
+	}
+	p.inTx = true
+	return nil
+}
+
+// InTx reports whether a transaction is open.
+func (p *Pager) InTx() bool { return p.inTx }
+
+// Commit writes the journal (making the transaction durable-or-invisible),
+// flushes the dirty pages to the database file, and clears the journal —
+// the classic SQLite rollback-journal protocol.
+func (p *Pager) Commit(env *mk.Env) error {
+	if !p.inTx {
+		return fmt.Errorf("db: commit outside transaction")
+	}
+	p.inTx = false
+	if len(p.journal) == 0 {
+		return nil
+	}
+	// 1. Journal file: header (count) + original page images.
+	jfd, _, err := p.fsc.Open(env, p.jname, true)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 16)
+	cnt := 0
+	off := PageSize
+	for no, orig := range p.journal {
+		if orig == nil {
+			continue // page was fresh; nothing to restore
+		}
+		rec := make([]byte, 8+PageSize)
+		putU64(rec, 0, uint64(no))
+		copy(rec[8:], orig)
+		if err := p.fsc.WriteAt(env, jfd, off, rec); err != nil {
+			return err
+		}
+		off += len(rec)
+		cnt++
+	}
+	putU64(hdr, 0, journalMagic)
+	putU64(hdr, 8, uint64(cnt))
+	if err := p.fsc.WriteAt(env, jfd, 0, hdr); err != nil {
+		return err
+	}
+	if err := p.fsc.Fsync(env); err != nil {
+		return err
+	}
+	// 2. Write dirty pages home.
+	for i := range p.cache {
+		pg := &p.cache[i]
+		if pg.valid && pg.dirty {
+			p.FsWrites++
+			if err := p.fsc.WriteAt(env, p.fd, pg.no*PageSize, pg.data); err != nil {
+				return err
+			}
+			pg.dirty = false
+		}
+	}
+	if err := p.fsc.Fsync(env); err != nil {
+		return err
+	}
+	// 3. Invalidate the journal.
+	if err := p.fsc.Truncate(env, jfd); err != nil {
+		return err
+	}
+	p.journal = make(map[int][]byte)
+	return nil
+}
+
+// Rollback discards the transaction's in-memory changes.
+func (p *Pager) Rollback(env *mk.Env) error {
+	if !p.inTx {
+		return fmt.Errorf("db: rollback outside transaction")
+	}
+	p.inTx = false
+	for no, orig := range p.journal {
+		if pg, ok := p.index[no]; ok {
+			if orig != nil {
+				copy(pg.data, orig)
+				env.Write(pg.slotVA, nil, PageSize)
+			} else {
+				pg.valid = false
+				delete(p.index, no)
+			}
+			pg.dirty = false
+		}
+	}
+	// Pages allocated this tx disappear.
+	for no, orig := range p.journal {
+		if orig == nil && no < p.npages {
+			p.npages = no
+		}
+	}
+	p.journal = make(map[int][]byte)
+	return nil
+}
+
+const journalMagic = 0x5B_1C_CAFE
+
+// rollbackHotJournal applies a leftover journal (crash between journal
+// write and commit completion).
+func (p *Pager) rollbackHotJournal(env *mk.Env) error {
+	jfd, size, err := p.fsc.Open(env, p.jname, true)
+	if err != nil {
+		return err
+	}
+	if size < 16 {
+		return nil
+	}
+	h, err := p.fsc.ReadAt(env, jfd, 0, 16)
+	if err != nil {
+		return err
+	}
+	if getU64(h, 0) != journalMagic {
+		return nil
+	}
+	cnt := int(getU64(h, 8))
+	off := PageSize
+	for i := 0; i < cnt; i++ {
+		rec, err := p.fsc.ReadAt(env, jfd, off, 8+PageSize)
+		if err != nil {
+			return err
+		}
+		if len(rec) < 8+PageSize {
+			break
+		}
+		no := int(getU64(rec, 0))
+		if err := p.fsc.WriteAt(env, p.fd, no*PageSize, rec[8:8+PageSize]); err != nil {
+			return err
+		}
+		off += 8 + PageSize
+	}
+	return p.fsc.Truncate(env, jfd)
+}
+
+func putU64(b []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte, off int) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[off+i])
+	}
+	return v
+}

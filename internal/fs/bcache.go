@@ -1,0 +1,223 @@
+package fs
+
+import (
+	"fmt"
+
+	"skybridge/internal/blockdev"
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+)
+
+// nbuf is the buffer-cache capacity in blocks.
+const nbuf = 128
+
+// buf is one cached block. Data is the authoritative copy while cached;
+// slotVA is the block's address in the FS server's address space, used to
+// charge the hardware model for every access to the cached bytes.
+type buf struct {
+	bn     int
+	data   []byte
+	slotVA hw.VA
+	dirty  bool
+	pinned bool // in the current transaction; not evictable
+	lru    uint64
+	valid  bool
+}
+
+// bcache is the buffer cache plus the write-ahead log (xv6's bio.c+log.c).
+type bcache struct {
+	dev   *blockdev.Client
+	slots [nbuf]buf
+	index map[int]*buf
+	clock uint64
+
+	// Log state: blocks dirtied by the running transaction, in order.
+	logStart int
+	inTx     bool
+	logged   []*buf
+
+	// Stats.
+	Hits      uint64
+	Misses    uint64
+	Commits   uint64
+	LogWrites uint64
+}
+
+func newBcache(dev *blockdev.Client, region hw.VA, logStart int) *bcache {
+	c := &bcache{dev: dev, index: make(map[int]*buf, nbuf), logStart: logStart}
+	for i := range c.slots {
+		c.slots[i].slotVA = region + hw.VA(i*BlockSize)
+	}
+	return c
+}
+
+// get returns the cached block bn, reading it from the device on a miss.
+func (c *bcache) get(env *mk.Env, bn int) (*buf, error) {
+	c.clock++
+	if b, ok := c.index[bn]; ok {
+		c.Hits++
+		b.lru = c.clock
+		env.Compute(12) // tag lookup
+		return b, nil
+	}
+	c.Misses++
+	// Choose a victim: invalid first, then clean LRU.
+	var victim *buf
+	for i := range c.slots {
+		b := &c.slots[i]
+		if !b.valid {
+			victim = b
+			break
+		}
+		if b.dirty || b.pinned {
+			continue
+		}
+		if victim == nil || b.lru < victim.lru {
+			victim = b
+		}
+	}
+	if victim == nil {
+		return nil, fmt.Errorf("fs: buffer cache exhausted (all blocks dirty/pinned)")
+	}
+	if victim.valid {
+		delete(c.index, victim.bn)
+	}
+	data, err := c.dev.ReadBlock(env, bn)
+	if err != nil {
+		return nil, err
+	}
+	victim.bn = bn
+	victim.data = data
+	victim.dirty = false
+	victim.pinned = false
+	victim.valid = true
+	victim.lru = c.clock
+	c.index[bn] = victim
+	// Filling the slot touches the whole block in the FS address space.
+	env.Write(victim.slotVA, nil, BlockSize)
+	copyInto(env, victim, data)
+	return victim, nil
+}
+
+func copyInto(env *mk.Env, b *buf, data []byte) {
+	b.data = append(b.data[:0], data...)
+}
+
+// read returns n bytes at off within the block, charging the access.
+func (b *buf) read(env *mk.Env, off, n int) []byte {
+	env.Read(b.slotVA+hw.VA(off), nil, n)
+	return b.data[off : off+n]
+}
+
+// write stores data at off within the block, charging the access. The
+// caller must be inside a transaction; the block joins the log set.
+func (c *bcache) write(env *mk.Env, b *buf, off int, data []byte) {
+	if !c.inTx {
+		panic("fs: block write outside transaction")
+	}
+	env.Write(b.slotVA+hw.VA(off), nil, len(data))
+	copy(b.data[off:], data)
+	if !b.dirty {
+		if len(c.logged) >= LogBlocks {
+			panic("fs: transaction exceeds log capacity")
+		}
+		b.dirty = true
+		b.pinned = true
+		c.logged = append(c.logged, b) // absorption: each block once
+		c.LogWrites++
+	}
+}
+
+// beginTx starts a transaction (xv6 begin_op; the big lock already
+// serializes us, so there is exactly one transaction at a time).
+func (c *bcache) beginTx() {
+	if c.inTx {
+		panic("fs: nested transaction")
+	}
+	c.inTx = true
+}
+
+// commitTx implements the xv6 commit protocol: copy dirty blocks to the
+// log area, write the log header (the commit point), install the blocks in
+// their home locations, then clear the header.
+func (c *bcache) commitTx(env *mk.Env) error {
+	if !c.inTx {
+		panic("fs: commit outside transaction")
+	}
+	c.inTx = false
+	if len(c.logged) == 0 {
+		return nil
+	}
+	c.Commits++
+	// 1. Log data blocks.
+	for i, b := range c.logged {
+		if err := c.dev.WriteBlock(env, c.logStart+1+i, b.data); err != nil {
+			return err
+		}
+	}
+	// 2. Header: n + block numbers. This write commits the transaction.
+	hdr := make([]byte, BlockSize)
+	putU64(hdr, 0, uint64(len(c.logged)))
+	for i, b := range c.logged {
+		putU64(hdr, 8+8*i, uint64(b.bn))
+	}
+	if err := c.dev.WriteBlock(env, c.logStart, hdr); err != nil {
+		return err
+	}
+	if err := c.dev.Flush(env); err != nil {
+		return err
+	}
+	// 3. Install to home locations.
+	for _, b := range c.logged {
+		if err := c.dev.WriteBlock(env, b.bn, b.data); err != nil {
+			return err
+		}
+		b.dirty = false
+		b.pinned = false
+	}
+	// 4. Clear the header.
+	clear(hdr[:8])
+	if err := c.dev.WriteBlock(env, c.logStart, hdr); err != nil {
+		return err
+	}
+	if err := c.dev.Flush(env); err != nil {
+		return err
+	}
+	c.logged = c.logged[:0]
+	return nil
+}
+
+// recover replays a committed-but-uninstalled log after a crash.
+func (c *bcache) recover(env *mk.Env) error {
+	hdr, err := c.dev.ReadBlock(env, c.logStart)
+	if err != nil {
+		return err
+	}
+	n := int(getU64(hdr, 0))
+	for i := 0; i < n; i++ {
+		bn := int(getU64(hdr, 8+8*i))
+		data, err := c.dev.ReadBlock(env, c.logStart+1+i)
+		if err != nil {
+			return err
+		}
+		if err := c.dev.WriteBlock(env, bn, data); err != nil {
+			return err
+		}
+	}
+	clear(hdr[:8])
+	return c.dev.WriteBlock(env, c.logStart, hdr)
+}
+
+func putU64(b []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte, off int) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[off+i])
+	}
+	return v
+}

@@ -1,0 +1,493 @@
+package fs
+
+import (
+	"fmt"
+
+	"skybridge/internal/blockdev"
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+	"skybridge/internal/svc"
+)
+
+// rootInum is the root directory's inode.
+const rootInum = 1
+
+// FS is the file-system server state.
+type FS struct {
+	Proc *mk.Process
+	dev  *blockdev.Client
+	sb   *Superblock
+	bc   *bcache
+
+	// Lock is the single big lock serializing every operation (§6.5). It
+	// is kernel-backed: contended handoff goes through the kernel (with
+	// cross-core IPIs), which is what makes the FS the scalability
+	// bottleneck of Figures 9-11.
+	Lock *mk.KMutex
+
+	fds    map[uint64]uint64 // fd -> inum
+	nextFD uint64
+}
+
+// New creates an FS server bound to a device connection. The cache region
+// is allocated inside proc.
+func New(proc *mk.Process, dev svc.Conn) *FS {
+	f := &FS{
+		Proc:   proc,
+		dev:    &blockdev.Client{Conn: dev},
+		fds:    make(map[uint64]uint64),
+		nextFD: 3,
+		Lock:   proc.Kernel().NewKMutex("fs.biglock"),
+	}
+	return f
+}
+
+// Mkfs formats the device and mounts the file system.
+func (f *FS) Mkfs(env *mk.Env, totalBlocks, ninodes int) error {
+	inodeBlocks := (ninodes + InodesPerBlock - 1) / InodesPerBlock
+	bmapBlocks := (totalBlocks + BlockSize*8 - 1) / (BlockSize * 8)
+	sb := &Superblock{
+		Magic:      Magic,
+		Size:       uint64(totalBlocks),
+		NInodes:    uint64(ninodes),
+		LogStart:   1,
+		InodeStart: uint64(1 + 1 + LogBlocks),
+		BmapStart:  uint64(1 + 1 + LogBlocks + inodeBlocks),
+		DataStart:  uint64(1 + 1 + LogBlocks + inodeBlocks + bmapBlocks),
+	}
+	if err := f.dev.WriteBlock(env, 0, sb.encode()); err != nil {
+		return err
+	}
+	zero := make([]byte, BlockSize)
+	// Clear the log header, inode blocks, and bitmap.
+	if err := f.dev.WriteBlock(env, int(sb.LogStart), zero); err != nil {
+		return err
+	}
+	for i := 0; i < inodeBlocks; i++ {
+		if err := f.dev.WriteBlock(env, int(sb.InodeStart)+i, zero); err != nil {
+			return err
+		}
+	}
+	// Bitmap: metadata blocks (everything below DataStart) are in use.
+	for i := 0; i < bmapBlocks; i++ {
+		bm := make([]byte, BlockSize)
+		for bn := i * BlockSize * 8; bn < (i+1)*BlockSize*8 && bn < totalBlocks; bn++ {
+			if uint64(bn) < sb.DataStart {
+				bm[(bn%(BlockSize*8))/8] |= 1 << (bn % 8)
+			}
+		}
+		if err := f.dev.WriteBlock(env, int(sb.BmapStart)+i, bm); err != nil {
+			return err
+		}
+	}
+	if err := f.Mount(env); err != nil {
+		return err
+	}
+	// Root directory: inode 1.
+	f.bc.beginTx()
+	root := dinode{Type: TypeDir, Nlink: 1}
+	if err := f.writeInode(env, rootInum, root); err != nil {
+		return err
+	}
+	return f.bc.commitTx(env)
+}
+
+// Mount reads the superblock and replays any committed log.
+func (f *FS) Mount(env *mk.Env) error {
+	blk, err := (&blockdev.Client{Conn: f.dev.Conn}).ReadBlock(env, 0)
+	if err != nil {
+		return err
+	}
+	sb, err := decodeSuperblock(blk)
+	if err != nil {
+		return err
+	}
+	f.sb = sb
+	region := f.Proc.Alloc(nbuf * BlockSize)
+	f.bc = newBcache(f.dev, region, int(sb.LogStart))
+	return f.bc.recover(env)
+}
+
+// Superblock returns the mounted superblock.
+func (f *FS) Superblock() *Superblock { return f.sb }
+
+// Cache exposes buffer-cache statistics.
+func (f *FS) Cache() (hits, misses, commits uint64) {
+	return f.bc.Hits, f.bc.Misses, f.bc.Commits
+}
+
+// --- directory operations (single root directory, like the paper's port) ---
+
+func (f *FS) dirLookup(env *mk.Env, name string) (uint64, bool, error) {
+	d, err := f.readInode(env, rootInum)
+	if err != nil {
+		return 0, false, err
+	}
+	for off := 0; off < int(d.Size); off += DirentSize {
+		raw, err := f.readi(env, rootInum, off, DirentSize)
+		if err != nil {
+			return 0, false, err
+		}
+		de := decodeDirent(raw)
+		if de.Inum != 0 && de.Name == name {
+			return de.Inum, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+func (f *FS) dirLink(env *mk.Env, name string, inum uint64) error {
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("fs: name %q too long", name)
+	}
+	d, err := f.readInode(env, rootInum)
+	if err != nil {
+		return err
+	}
+	// Reuse a free slot if any.
+	slot := int(d.Size)
+	for off := 0; off < int(d.Size); off += DirentSize {
+		raw, err := f.readi(env, rootInum, off, DirentSize)
+		if err != nil {
+			return err
+		}
+		if decodeDirent(raw).Inum == 0 {
+			slot = off
+			break
+		}
+	}
+	img := make([]byte, DirentSize)
+	de := dirent{Inum: inum, Name: name}
+	de.encode(img)
+	return f.writei(env, rootInum, slot, img)
+}
+
+func (f *FS) dirUnlink(env *mk.Env, name string) (uint64, error) {
+	d, err := f.readInode(env, rootInum)
+	if err != nil {
+		return 0, err
+	}
+	for off := 0; off < int(d.Size); off += DirentSize {
+		raw, err := f.readi(env, rootInum, off, DirentSize)
+		if err != nil {
+			return 0, err
+		}
+		de := decodeDirent(raw)
+		if de.Inum != 0 && de.Name == name {
+			img := make([]byte, DirentSize)
+			if err := f.writei(env, rootInum, off, img); err != nil {
+				return 0, err
+			}
+			return de.Inum, nil
+		}
+	}
+	return 0, fmt.Errorf("fs: unlink %q: not found", name)
+}
+
+// --- file operations (each takes the big lock) ---
+
+// Open opens (optionally creating) a file, returning (fd, size).
+func (f *FS) Open(env *mk.Env, name string, create bool) (uint64, uint64, error) {
+	f.Lock.Lock(env)
+	defer f.Lock.Unlock(env)
+
+	inum, ok, err := f.dirLookup(env, name)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		if !create {
+			return 0, 0, fmt.Errorf("fs: open %q: not found", name)
+		}
+		f.bc.beginTx()
+		inum, err = f.allocInode(env, TypeFile)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := f.dirLink(env, name, inum); err != nil {
+			return 0, 0, err
+		}
+		if err := f.bc.commitTx(env); err != nil {
+			return 0, 0, err
+		}
+	}
+	d, err := f.readInode(env, inum)
+	if err != nil {
+		return 0, 0, err
+	}
+	fd := f.nextFD
+	f.nextFD++
+	f.fds[fd] = inum
+	return fd, d.Size, nil
+}
+
+// Read reads n bytes at off from fd.
+func (f *FS) Read(env *mk.Env, fd uint64, off, n int) ([]byte, error) {
+	f.Lock.Lock(env)
+	defer f.Lock.Unlock(env)
+	inum, ok := f.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("fs: bad fd %d", fd)
+	}
+	return f.readi(env, inum, off, n)
+}
+
+// Write writes data at off into fd. Each write is one log transaction.
+func (f *FS) Write(env *mk.Env, fd uint64, off int, data []byte) (int, error) {
+	f.Lock.Lock(env)
+	defer f.Lock.Unlock(env)
+	inum, ok := f.fds[fd]
+	if !ok {
+		return 0, fmt.Errorf("fs: bad fd %d", fd)
+	}
+	f.bc.beginTx()
+	if err := f.writei(env, inum, off, data); err != nil {
+		return 0, err
+	}
+	if err := f.bc.commitTx(env); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// Stat returns the file size.
+func (f *FS) Stat(env *mk.Env, fd uint64) (uint64, error) {
+	f.Lock.Lock(env)
+	defer f.Lock.Unlock(env)
+	inum, ok := f.fds[fd]
+	if !ok {
+		return 0, fmt.Errorf("fs: bad fd %d", fd)
+	}
+	d, err := f.readInode(env, inum)
+	if err != nil {
+		return 0, err
+	}
+	return d.Size, nil
+}
+
+// Close releases a descriptor.
+func (f *FS) Close(env *mk.Env, fd uint64) error {
+	f.Lock.Lock(env)
+	defer f.Lock.Unlock(env)
+	if _, ok := f.fds[fd]; !ok {
+		return fmt.Errorf("fs: bad fd %d", fd)
+	}
+	delete(f.fds, fd)
+	return nil
+}
+
+// Truncate empties a file.
+func (f *FS) Truncate(env *mk.Env, fd uint64) error {
+	f.Lock.Lock(env)
+	defer f.Lock.Unlock(env)
+	inum, ok := f.fds[fd]
+	if !ok {
+		return fmt.Errorf("fs: bad fd %d", fd)
+	}
+	f.bc.beginTx()
+	if err := f.itrunc(env, inum); err != nil {
+		return err
+	}
+	return f.bc.commitTx(env)
+}
+
+// Unlink removes a file name and frees its inode and blocks.
+func (f *FS) Unlink(env *mk.Env, name string) error {
+	f.Lock.Lock(env)
+	defer f.Lock.Unlock(env)
+	f.bc.beginTx()
+	inum, err := f.dirUnlink(env, name)
+	if err != nil {
+		f.bc.commitTx(env)
+		return err
+	}
+	if err := f.itrunc(env, inum); err != nil {
+		return err
+	}
+	if err := f.writeInode(env, inum, dinode{}); err != nil {
+		return err
+	}
+	return f.bc.commitTx(env)
+}
+
+// Fsync flushes the device (the log already commits per write).
+func (f *FS) Fsync(env *mk.Env) error {
+	f.Lock.Lock(env)
+	defer f.Lock.Unlock(env)
+	return f.dev.Flush(env)
+}
+
+// --- service interface ---
+
+// Service opcodes.
+const (
+	OpOpen uint64 = iota + 1
+	OpCreate
+	OpRead
+	OpWrite
+	OpStat
+	OpClose
+	OpUnlink
+	OpTruncate
+	OpFsync
+)
+
+// Status codes.
+const (
+	StatusOK  = svc.StatusOK
+	StatusErr = 1
+)
+
+// maxIO bounds a single read/write payload (the transport buffer size).
+const maxIO = 4 * hw.PageSize
+
+// Handler returns the FS's service handler.
+func (f *FS) Handler() svc.Handler {
+	return func(env *mk.Env, req svc.Req) svc.Resp {
+		switch req.Op {
+		case OpOpen, OpCreate:
+			fd, size, err := f.Open(env, string(req.Data), req.Op == OpCreate)
+			if err != nil {
+				return svc.Resp{Status: StatusErr}
+			}
+			return svc.Resp{Vals: [3]uint64{fd, size}}
+		case OpRead:
+			n := int(req.Args[2])
+			if n > maxIO {
+				return svc.Resp{Status: StatusErr}
+			}
+			data, err := f.Read(env, req.Args[0], int(req.Args[1]), n)
+			if err != nil {
+				return svc.Resp{Status: StatusErr}
+			}
+			return svc.Resp{Data: data}
+		case OpWrite:
+			n, err := f.Write(env, req.Args[0], int(req.Args[1]), req.Data)
+			if err != nil {
+				return svc.Resp{Status: StatusErr}
+			}
+			return svc.Resp{Vals: [3]uint64{uint64(n)}}
+		case OpStat:
+			size, err := f.Stat(env, req.Args[0])
+			if err != nil {
+				return svc.Resp{Status: StatusErr}
+			}
+			return svc.Resp{Vals: [3]uint64{size}}
+		case OpClose:
+			if err := f.Close(env, req.Args[0]); err != nil {
+				return svc.Resp{Status: StatusErr}
+			}
+			return svc.Resp{}
+		case OpUnlink:
+			if err := f.Unlink(env, string(req.Data)); err != nil {
+				return svc.Resp{Status: StatusErr}
+			}
+			return svc.Resp{}
+		case OpTruncate:
+			if err := f.Truncate(env, req.Args[0]); err != nil {
+				return svc.Resp{Status: StatusErr}
+			}
+			return svc.Resp{}
+		case OpFsync:
+			if err := f.Fsync(env); err != nil {
+				return svc.Resp{Status: StatusErr}
+			}
+			return svc.Resp{}
+		default:
+			return svc.Resp{Status: StatusErr}
+		}
+	}
+}
+
+// Client is a typed client over a transport connection to an FS server.
+type Client struct {
+	Conn svc.Conn
+}
+
+// Open opens a file.
+func (c *Client) Open(env *mk.Env, name string, create bool) (fd, size uint64, err error) {
+	op := OpOpen
+	if create {
+		op = OpCreate
+	}
+	resp, err := c.Conn.Invoke(env, svc.Req{Op: op, Data: []byte(name)})
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.Status != StatusOK {
+		return 0, 0, fmt.Errorf("fs: open %q failed", name)
+	}
+	return resp.Vals[0], resp.Vals[1], nil
+}
+
+// ReadAt reads n bytes at off.
+func (c *Client) ReadAt(env *mk.Env, fd uint64, off, n int) ([]byte, error) {
+	resp, err := c.Conn.Invoke(env, svc.Req{Op: OpRead, Args: [3]uint64{fd, uint64(off), uint64(n)}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("fs: read failed")
+	}
+	return resp.Data, nil
+}
+
+// WriteAt writes data at off.
+func (c *Client) WriteAt(env *mk.Env, fd uint64, off int, data []byte) error {
+	resp, err := c.Conn.Invoke(env, svc.Req{Op: OpWrite, Args: [3]uint64{fd, uint64(off)}, Data: data})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("fs: write failed")
+	}
+	return nil
+}
+
+// Stat returns the file size.
+func (c *Client) Stat(env *mk.Env, fd uint64) (uint64, error) {
+	resp, err := c.Conn.Invoke(env, svc.Req{Op: OpStat, Args: [3]uint64{fd}})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != StatusOK {
+		return 0, fmt.Errorf("fs: stat failed")
+	}
+	return resp.Vals[0], nil
+}
+
+// Truncate empties the file.
+func (c *Client) Truncate(env *mk.Env, fd uint64) error {
+	resp, err := c.Conn.Invoke(env, svc.Req{Op: OpTruncate, Args: [3]uint64{fd}})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("fs: truncate failed")
+	}
+	return nil
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(env *mk.Env, name string) error {
+	resp, err := c.Conn.Invoke(env, svc.Req{Op: OpUnlink, Data: []byte(name)})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("fs: unlink %q failed", name)
+	}
+	return nil
+}
+
+// Fsync flushes the device.
+func (c *Client) Fsync(env *mk.Env) error {
+	resp, err := c.Conn.Invoke(env, svc.Req{Op: OpFsync})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("fs: fsync failed")
+	}
+	return nil
+}

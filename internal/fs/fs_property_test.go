@@ -1,0 +1,109 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"skybridge/internal/mk"
+)
+
+// modelFile mirrors one file's expected content.
+type modelFile struct {
+	data []byte
+}
+
+// TestFSAgainstModel drives random file-system operations against both the
+// FS and an in-memory model and checks they agree at every step.
+func TestFSAgainstModel(t *testing.T) {
+	fsWorld(t, 2048, func(env *mk.Env, f *FS, c *Client) {
+		rng := rand.New(rand.NewSource(2024))
+		model := map[string]*modelFile{}
+		fds := map[string]uint64{}
+
+		names := make([]string, 6)
+		for i := range names {
+			names[i] = fmt.Sprintf("f%d", i)
+		}
+		pick := func() string { return names[rng.Intn(len(names))] }
+
+		openIt := func(name string) uint64 {
+			if fd, ok := fds[name]; ok {
+				return fd
+			}
+			fd, _, err := c.Open(env, name, true)
+			if err != nil {
+				t.Fatalf("open %s: %v", name, err)
+			}
+			fds[name] = fd
+			if _, ok := model[name]; !ok {
+				model[name] = &modelFile{}
+			}
+			return fd
+		}
+
+		for step := 0; step < 300; step++ {
+			name := pick()
+			switch rng.Intn(5) {
+			case 0, 1: // write at random offset
+				fd := openIt(name)
+				off := rng.Intn(3 * BlockSize)
+				n := 1 + rng.Intn(2*BlockSize)
+				data := make([]byte, n)
+				rng.Read(data)
+				if err := c.WriteAt(env, fd, off, data); err != nil {
+					t.Fatalf("step %d: write %s: %v", step, name, err)
+				}
+				m := model[name]
+				if off+n > len(m.data) {
+					m.data = append(m.data, make([]byte, off+n-len(m.data))...)
+				}
+				copy(m.data[off:], data)
+			case 2, 3: // read a random range and compare
+				fd := openIt(name)
+				m := model[name]
+				if len(m.data) == 0 {
+					continue
+				}
+				off := rng.Intn(len(m.data))
+				n := 1 + rng.Intn(len(m.data)-off)
+				got, err := c.ReadAt(env, fd, off, n)
+				if err != nil {
+					t.Fatalf("step %d: read %s: %v", step, name, err)
+				}
+				if !bytes.Equal(got, m.data[off:off+n]) {
+					t.Fatalf("step %d: %s[%d:%d] mismatch", step, name, off, off+n)
+				}
+			case 4: // unlink
+				if _, ok := fds[name]; !ok {
+					continue
+				}
+				if err := c.Unlink(env, name); err != nil {
+					t.Fatalf("step %d: unlink %s: %v", step, name, err)
+				}
+				delete(fds, name)
+				delete(model, name)
+			}
+		}
+		// Final sweep: sizes and full contents agree.
+		for name, m := range model {
+			fd := fds[name]
+			size, err := c.Stat(env, fd)
+			if err != nil || int(size) != len(m.data) {
+				t.Fatalf("final %s: size %d, want %d (%v)", name, size, len(m.data), err)
+			}
+			if size == 0 {
+				continue
+			}
+			// Read in chunks bounded by the transport buffer.
+			for off := 0; off < len(m.data); off += 8192 {
+				n := min(8192, len(m.data)-off)
+				got, err := c.ReadAt(env, fd, off, n)
+				if err != nil || !bytes.Equal(got, m.data[off:off+n]) {
+					t.Fatalf("final %s at %d: mismatch (%v)", name, off, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package fs
+
+import (
+	"fmt"
+
+	"skybridge/internal/mk"
+)
+
+// inodeBlock returns the block and intra-block offset of an inode.
+func (f *FS) inodeBlock(inum uint64) (int, int) {
+	return int(f.sb.InodeStart) + int(inum)/InodesPerBlock,
+		(int(inum) % InodesPerBlock) * InodeSize
+}
+
+// readInode loads an inode image.
+func (f *FS) readInode(env *mk.Env, inum uint64) (dinode, error) {
+	bn, off := f.inodeBlock(inum)
+	b, err := f.bc.get(env, bn)
+	if err != nil {
+		return dinode{}, err
+	}
+	return decodeDinode(b.read(env, off, InodeSize)), nil
+}
+
+// writeInode stores an inode image (inside a transaction).
+func (f *FS) writeInode(env *mk.Env, inum uint64, d dinode) error {
+	bn, off := f.inodeBlock(inum)
+	b, err := f.bc.get(env, bn)
+	if err != nil {
+		return err
+	}
+	img := make([]byte, InodeSize)
+	d.encode(img)
+	f.bc.write(env, b, off, img)
+	return nil
+}
+
+// allocInode finds a free inode and types it.
+func (f *FS) allocInode(env *mk.Env, typ uint16) (uint64, error) {
+	for inum := uint64(1); inum < f.sb.NInodes; inum++ {
+		d, err := f.readInode(env, inum)
+		if err != nil {
+			return 0, err
+		}
+		if d.Type == TypeFree {
+			d = dinode{Type: typ, Nlink: 1}
+			if err := f.writeInode(env, inum, d); err != nil {
+				return 0, err
+			}
+			return inum, nil
+		}
+	}
+	return 0, fmt.Errorf("fs: out of inodes")
+}
+
+// balloc allocates a zeroed data block.
+func (f *FS) balloc(env *mk.Env) (int, error) {
+	bitsPerBlock := BlockSize * 8
+	for bn := 0; bn < int(f.sb.Size); bn += bitsPerBlock {
+		bmapBlock := int(f.sb.BmapStart) + bn/bitsPerBlock
+		b, err := f.bc.get(env, bmapBlock)
+		if err != nil {
+			return 0, err
+		}
+		for bi := 0; bi < bitsPerBlock && bn+bi < int(f.sb.Size); bi++ {
+			byteOff, mask := bi/8, byte(1)<<(bi%8)
+			cur := b.read(env, byteOff, 1)
+			if cur[0]&mask == 0 {
+				f.bc.write(env, b, byteOff, []byte{cur[0] | mask})
+				// Zero the block.
+				zb, err := f.bc.get(env, bn+bi)
+				if err != nil {
+					return 0, err
+				}
+				f.bc.write(env, zb, 0, make([]byte, BlockSize))
+				return bn + bi, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("fs: out of data blocks")
+}
+
+// bfree releases a data block.
+func (f *FS) bfree(env *mk.Env, bn int) error {
+	bitsPerBlock := BlockSize * 8
+	bmapBlock := int(f.sb.BmapStart) + bn/bitsPerBlock
+	b, err := f.bc.get(env, bmapBlock)
+	if err != nil {
+		return err
+	}
+	bi := bn % bitsPerBlock
+	byteOff, mask := bi/8, byte(1)<<(bi%8)
+	cur := b.read(env, byteOff, 1)
+	if cur[0]&mask == 0 {
+		return fmt.Errorf("fs: freeing free block %d", bn)
+	}
+	f.bc.write(env, b, byteOff, []byte{cur[0] &^ mask})
+	return nil
+}
+
+// indirectLookup reads (or allocates) slot idx in the indirect block at
+// *addr, allocating the indirect block itself if needed.
+func (f *FS) indirectLookup(env *mk.Env, addr *uint64, idx int, alloc bool) (uint64, bool, error) {
+	dirty := false
+	if *addr == 0 {
+		if !alloc {
+			return 0, false, nil
+		}
+		bn, err := f.balloc(env)
+		if err != nil {
+			return 0, false, err
+		}
+		*addr = uint64(bn)
+		dirty = true
+	}
+	b, err := f.bc.get(env, int(*addr))
+	if err != nil {
+		return 0, false, err
+	}
+	slot := getU64(b.read(env, 8*idx, 8), 0)
+	if slot == 0 && alloc {
+		bn, err := f.balloc(env)
+		if err != nil {
+			return 0, false, err
+		}
+		slot = uint64(bn)
+		img := make([]byte, 8)
+		putU64(img, 0, slot)
+		f.bc.write(env, b, 8*idx, img)
+	}
+	return slot, dirty, nil
+}
+
+// bmap resolves file block fb of inode d to a device block, allocating as
+// needed. It reports whether the inode image changed.
+func (f *FS) bmap(env *mk.Env, d *dinode, fb int, alloc bool) (uint64, bool, error) {
+	changed := false
+	switch {
+	case fb < NDirect:
+		if d.Addrs[fb] == 0 && alloc {
+			bn, err := f.balloc(env)
+			if err != nil {
+				return 0, false, err
+			}
+			d.Addrs[fb] = uint64(bn)
+			changed = true
+		}
+		return d.Addrs[fb], changed, nil
+
+	case fb < NDirect+NIndirect:
+		prev := d.Addrs[NDirect]
+		bn, _, err := f.indirectLookup(env, &d.Addrs[NDirect], fb-NDirect, alloc)
+		return bn, d.Addrs[NDirect] != prev, err
+
+	case fb < MaxFileBlocks:
+		fb -= NDirect + NIndirect
+		prev := d.Addrs[NDirect+1]
+		l1, _, err := f.indirectLookup(env, &d.Addrs[NDirect+1], fb/NIndirect, alloc)
+		if err != nil {
+			return 0, false, err
+		}
+		changed = d.Addrs[NDirect+1] != prev
+		if l1 == 0 {
+			return 0, changed, nil
+		}
+		bn, _, err := f.indirectLookup(env, &l1, fb%NIndirect, alloc)
+		return bn, changed, err
+
+	default:
+		return 0, false, fmt.Errorf("fs: file block %d beyond maximum", fb)
+	}
+}
+
+// readi reads up to n bytes at off from inode inum.
+func (f *FS) readi(env *mk.Env, inum uint64, off, n int) ([]byte, error) {
+	d, err := f.readInode(env, inum)
+	if err != nil {
+		return nil, err
+	}
+	if off >= int(d.Size) {
+		return nil, nil
+	}
+	if off+n > int(d.Size) {
+		n = int(d.Size) - off
+	}
+	out := make([]byte, 0, n)
+	for n > 0 {
+		fb, bo := off/BlockSize, off%BlockSize
+		chunk := BlockSize - bo
+		if chunk > n {
+			chunk = n
+		}
+		bn, _, err := f.bmap(env, &d, fb, false)
+		if err != nil {
+			return nil, err
+		}
+		if bn == 0 {
+			out = append(out, make([]byte, chunk)...) // hole
+		} else {
+			b, err := f.bc.get(env, int(bn))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b.read(env, bo, chunk)...)
+		}
+		off += chunk
+		n -= chunk
+	}
+	return out, nil
+}
+
+// writei writes data at off into inode inum (inside a transaction),
+// growing the file as needed.
+func (f *FS) writei(env *mk.Env, inum uint64, off int, data []byte) error {
+	d, err := f.readInode(env, inum)
+	if err != nil {
+		return err
+	}
+	n := len(data)
+	pos := 0
+	dirty := false
+	for pos < n {
+		fb, bo := (off+pos)/BlockSize, (off+pos)%BlockSize
+		chunk := BlockSize - bo
+		if chunk > n-pos {
+			chunk = n - pos
+		}
+		bn, ch, err := f.bmap(env, &d, fb, true)
+		if err != nil {
+			return err
+		}
+		dirty = dirty || ch
+		b, err := f.bc.get(env, int(bn))
+		if err != nil {
+			return err
+		}
+		f.bc.write(env, b, bo, data[pos:pos+chunk])
+		pos += chunk
+	}
+	if off+n > int(d.Size) {
+		d.Size = uint64(off + n)
+		dirty = true
+	}
+	if dirty {
+		return f.writeInode(env, inum, d)
+	}
+	return nil
+}
+
+// itrunc frees all blocks of inode inum and zeroes its size.
+func (f *FS) itrunc(env *mk.Env, inum uint64) error {
+	d, err := f.readInode(env, inum)
+	if err != nil {
+		return err
+	}
+	freeIndirect := func(addr uint64, depth int) error {
+		var walk func(a uint64, depth int) error
+		walk = func(a uint64, depth int) error {
+			if a == 0 {
+				return nil
+			}
+			if depth > 0 {
+				b, err := f.bc.get(env, int(a))
+				if err != nil {
+					return err
+				}
+				for i := 0; i < NIndirect; i++ {
+					slot := getU64(b.read(env, 8*i, 8), 0)
+					if err := walk(slot, depth-1); err != nil {
+						return err
+					}
+				}
+			}
+			return f.bfree(env, int(a))
+		}
+		return walk(addr, depth)
+	}
+	for i := 0; i < NDirect; i++ {
+		if d.Addrs[i] != 0 {
+			if err := f.bfree(env, int(d.Addrs[i])); err != nil {
+				return err
+			}
+		}
+	}
+	if err := freeIndirect(d.Addrs[NDirect], 1); err != nil {
+		return err
+	}
+	if err := freeIndirect(d.Addrs[NDirect+1], 2); err != nil {
+		return err
+	}
+	d.Addrs = [NDirect + 2]uint64{}
+	d.Size = 0
+	return f.writeInode(env, inum, d)
+}

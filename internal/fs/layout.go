@@ -1,0 +1,142 @@
+// Package fs implements an xv6fs-like log-structured, crash-consistent
+// file system, the substrate the paper ports for its SQLite3 evaluation
+// (§6.5: "we also port a log-based file system named xv6fs"). It runs as a
+// server process: the database calls it through a svc transport, and it in
+// turn calls the block-device server — the exact three-tier pipeline whose
+// IPC volume the evaluation measures.
+//
+// Like the paper's port, the file system has a single big lock ("since the
+// xv6fs does not support multithreading, we use one big lock in the file
+// system, that is the reason why the scalability is so bad"); Figures 9-11
+// inherit their negative scaling from it.
+package fs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"skybridge/internal/blockdev"
+)
+
+// Geometry.
+const (
+	// BlockSize matches the device block size.
+	BlockSize = blockdev.BlockSize
+	// LogBlocks is the number of log data blocks (xv6's LOGSIZE).
+	LogBlocks = 30
+	// InodeSize is the on-disk inode footprint.
+	InodeSize = 128
+	// InodesPerBlock derives from the block size.
+	InodesPerBlock = BlockSize / InodeSize
+	// NDirect is the number of direct block pointers per inode.
+	NDirect = 12
+	// NIndirect is the number of pointers in an indirect block.
+	NIndirect = BlockSize / 8
+	// MaxFileBlocks is the largest file: direct + single + double indirect.
+	MaxFileBlocks = NDirect + NIndirect + NIndirect*NIndirect
+	// DirentSize is the on-disk directory entry footprint.
+	DirentSize = 32
+	// MaxNameLen is the longest file name.
+	MaxNameLen = 23
+
+	// Magic identifies a formatted file system.
+	Magic = 0x5B_F5_2019
+)
+
+// Inode types.
+const (
+	TypeFree = 0
+	TypeDir  = 1
+	TypeFile = 2
+)
+
+// Superblock describes the on-disk layout (block 0).
+type Superblock struct {
+	Magic      uint64
+	Size       uint64 // total blocks
+	NInodes    uint64
+	LogStart   uint64 // log header block; log data follows
+	InodeStart uint64
+	BmapStart  uint64
+	DataStart  uint64
+}
+
+func (sb *Superblock) encode() []byte {
+	b := make([]byte, BlockSize)
+	for i, v := range []uint64{sb.Magic, sb.Size, sb.NInodes, sb.LogStart, sb.InodeStart, sb.BmapStart, sb.DataStart} {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+	return b
+}
+
+func decodeSuperblock(b []byte) (*Superblock, error) {
+	sb := &Superblock{
+		Magic:      binary.LittleEndian.Uint64(b[0:]),
+		Size:       binary.LittleEndian.Uint64(b[8:]),
+		NInodes:    binary.LittleEndian.Uint64(b[16:]),
+		LogStart:   binary.LittleEndian.Uint64(b[24:]),
+		InodeStart: binary.LittleEndian.Uint64(b[32:]),
+		BmapStart:  binary.LittleEndian.Uint64(b[40:]),
+		DataStart:  binary.LittleEndian.Uint64(b[48:]),
+	}
+	if sb.Magic != Magic {
+		return nil, fmt.Errorf("fs: bad magic %#x", sb.Magic)
+	}
+	return sb, nil
+}
+
+// dinode is the on-disk inode image.
+type dinode struct {
+	Type  uint16
+	Nlink uint16
+	Size  uint64
+	// Addrs: NDirect direct blocks, then one single-indirect, then one
+	// double-indirect block pointer.
+	Addrs [NDirect + 2]uint64
+}
+
+func (d *dinode) encode(b []byte) {
+	binary.LittleEndian.PutUint16(b[0:], d.Type)
+	binary.LittleEndian.PutUint16(b[2:], d.Nlink)
+	binary.LittleEndian.PutUint64(b[8:], d.Size)
+	for i, a := range d.Addrs {
+		binary.LittleEndian.PutUint64(b[16+8*i:], a)
+	}
+}
+
+func decodeDinode(b []byte) dinode {
+	var d dinode
+	d.Type = binary.LittleEndian.Uint16(b[0:])
+	d.Nlink = binary.LittleEndian.Uint16(b[2:])
+	d.Size = binary.LittleEndian.Uint64(b[8:])
+	for i := range d.Addrs {
+		d.Addrs[i] = binary.LittleEndian.Uint64(b[16+8*i:])
+	}
+	return d
+}
+
+// dirent is an on-disk directory entry.
+type dirent struct {
+	Inum uint64
+	Name string
+}
+
+func (de *dirent) encode(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], de.Inum)
+	for i := 0; i < MaxNameLen+1; i++ {
+		b[8+i] = 0
+	}
+	copy(b[8:8+MaxNameLen], de.Name)
+}
+
+func decodeDirent(b []byte) dirent {
+	name := b[8 : 8+MaxNameLen]
+	n := 0
+	for n < len(name) && name[n] != 0 {
+		n++
+	}
+	return dirent{
+		Inum: binary.LittleEndian.Uint64(b[0:]),
+		Name: string(name[:n]),
+	}
+}

@@ -1,0 +1,160 @@
+package hv
+
+import (
+	"fmt"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+)
+
+// This file implements the paper's §10 future-work item: "since the EPTP
+// list can hold at most 512 EPTP entries, we plan to design a technique
+// that dynamically evicts the least recently used EPTP entries from the
+// EPTP list when the server number is larger than 512."
+//
+// Design: server IDs become virtual. Each process's hardware EPTP list is a
+// 512-slot cache of its (potentially much larger) binding set. The
+// SkyBridge user-level library resolves a server ID to a slot before each
+// VMFUNC; a resolution miss issues the HCLoadSlot hypercall, and the
+// Rootkernel installs the binding into the least recently loaded slot that
+// is neither slot 0 (the caller's own view) nor pinned by the active call
+// chain (a nested call must be able to VMFUNC back through its ancestors).
+
+// MaxVirtualServers bounds the virtual server ID space (a sanity limit far
+// above the hardware's 512).
+const MaxVirtualServers = 4096
+
+// HCLoadSlot is the hypercall resolving a (process, server) binding into a
+// hardware EPTP slot, evicting an unpinned LRU slot if necessary.
+const HCLoadSlot = 100
+
+// LoadSlotArgs is the HCLoadSlot payload.
+type LoadSlotArgs struct {
+	Proc     *mk.Process
+	ServerID int
+	// Pinned slots must not be evicted (the caller's active call chain).
+	Pinned []int
+	// Slot receives the assigned hardware slot.
+	Slot int
+	// Evicted reports whether an older binding was displaced.
+	Evicted bool
+}
+
+// slotState tracks one process's hardware EPTP-slot cache.
+type slotState struct {
+	// slotServer[i] is the virtual server occupying hardware slot i
+	// (0 = free; slot 0 is always the process's own view).
+	slotServer [hw.EPTPListSize]int
+	// serverSlot maps a loaded virtual server to its hardware slot.
+	serverSlot map[int]int
+	// lastLoad orders slots for LRU eviction.
+	lastLoad [hw.EPTPListSize]uint64
+	loadSeq  uint64
+}
+
+func (rk *Rootkernel) slotStateOf(ps *procState) *slotState {
+	if ps.slots == nil {
+		ps.slots = &slotState{serverSlot: make(map[int]int)}
+	}
+	return ps.slots
+}
+
+// SlotLoads counts HCLoadSlot invocations (each is one VM exit).
+func (rk *Rootkernel) SlotLoads() uint64 { return rk.slotLoads }
+
+// SlotEvictions counts displaced bindings.
+func (rk *Rootkernel) SlotEvictions() uint64 { return rk.slotEvictions }
+
+// loadSlot implements HCLoadSlot in root mode.
+func (rk *Rootkernel) loadSlot(cpu *hw.CPU, args *LoadSlotArgs) error {
+	ps := rk.ensureProc(args.Proc)
+	ept, ok := ps.bindings[args.ServerID]
+	if !ok {
+		return fmt.Errorf("hv: process %s has no binding for server %d", args.Proc.Name, args.ServerID)
+	}
+	ss := rk.slotStateOf(ps)
+	rk.slotLoads++
+
+	if slot, ok := ss.serverSlot[args.ServerID]; ok {
+		// Already resident (raced with another thread's load).
+		args.Slot = slot
+		rk.touchSlot(ss, slot)
+		rk.syncSlot(cpu, ps, slot, ept)
+		return nil
+	}
+
+	pinned := map[int]bool{0: true}
+	for _, s := range args.Pinned {
+		pinned[s] = true
+	}
+	// Pick a free slot, or the LRU unpinned one.
+	victim := -1
+	for i := 1; i < hw.EPTPListSize; i++ {
+		if ss.slotServer[i] == 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		var oldest uint64 = ^uint64(0)
+		for i := 1; i < hw.EPTPListSize; i++ {
+			if pinned[i] {
+				continue
+			}
+			if ss.lastLoad[i] < oldest {
+				oldest = ss.lastLoad[i]
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return fmt.Errorf("hv: all EPTP slots pinned; call chain too deep")
+		}
+		delete(ss.serverSlot, ss.slotServer[victim])
+		ss.slotServer[victim] = 0
+		rk.slotEvictions++
+		args.Evicted = true
+	}
+
+	ss.slotServer[victim] = args.ServerID
+	ss.serverSlot[args.ServerID] = victim
+	rk.touchSlot(ss, victim)
+	ps.list[victim] = ept
+	rk.syncSlot(cpu, ps, victim, ept)
+	args.Slot = victim
+	return nil
+}
+
+func (rk *Rootkernel) touchSlot(ss *slotState, slot int) {
+	ss.loadSeq++
+	ss.lastLoad[slot] = ss.loadSeq
+}
+
+// syncSlot updates the hardware EPTP list on every core currently running
+// the process.
+func (rk *Rootkernel) syncSlot(cpu *hw.CPU, ps *procState, slot int, ept *hw.EPT) {
+	for _, c := range rk.Mach.Cores {
+		if rk.installed[c.ID] == ps.proc {
+			c.VMCS.EPTPList[slot] = ept
+		}
+	}
+	_ = cpu
+}
+
+// ResolveSlot is the Subkernel/user-library entry: return the hardware slot
+// for (proc, serverID), loading it via hypercall on a miss. The fast path
+// is a user-level lookup with no kernel involvement.
+func (rk *Rootkernel) ResolveSlot(cpu *hw.CPU, proc *mk.Process, serverID int, pinned []int) (int, bool, error) {
+	ps := rk.ensureProc(proc)
+	ss := rk.slotStateOf(ps)
+	if slot, ok := ss.serverSlot[serverID]; ok {
+		// Resident: the user-level table lookup costs a few cycles.
+		cpu.Tick(6)
+		rk.touchSlot(ss, slot)
+		return slot, false, nil
+	}
+	args := &LoadSlotArgs{Proc: proc, ServerID: serverID, Pinned: pinned}
+	if _, err := cpu.VMCall(&hw.Hypercall{Nr: HCLoadSlot, Ptr: args}); err != nil {
+		return 0, false, err
+	}
+	return args.Slot, true, nil
+}

@@ -1,0 +1,105 @@
+// Package hw implements the simulated hardware substrate that SkyBridge runs
+// on: physical memory, x86-64-style four-level page tables, extended page
+// tables (EPT) with 4 KiB / 2 MiB / 1 GiB mappings, VPID-tagged TLBs, a
+// set-associative cache hierarchy, and per-core CPU models that charge the
+// cycle costs measured in the paper (Table 2: SYSCALL 82, SWAPGS 26,
+// SYSRET 75, CR3 write 186, VMFUNC 134, IPI 1913).
+//
+// The substrate is deliberately structural rather than purely analytic:
+// address translation really walks simulated page-table pages held in
+// simulated physical memory, EPT violations really occur when a guest
+// physical address has no mapping, and VMFUNC really swaps the active EPT
+// root from a 512-entry EPTP list held in a VMCS. This is what lets the
+// layers above (Rootkernel, Subkernel, SkyBridge trampoline) reproduce the
+// paper's mechanisms rather than just its constants.
+package hw
+
+import "fmt"
+
+// Fundamental translation granularities. These mirror x86-64.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KiB
+	PageMask  = PageSize - 1
+
+	Page2MShift = 21
+	Page2MSize  = 1 << Page2MShift
+	Page1GShift = 30
+	Page1GSize  = 1 << Page1GShift
+
+	LineShift = 6
+	LineSize  = 1 << LineShift // 64-byte cache lines
+
+	// EntriesPerTable is the number of 8-byte entries in one table page.
+	EntriesPerTable = PageSize / 8
+)
+
+// VA is a guest virtual address.
+type VA uint64
+
+// GPA is a guest physical address: the address space the Subkernel
+// (microkernel) believes is physical memory.
+type GPA uint64
+
+// HPA is a host physical address: the address space the Rootkernel
+// (hypervisor) manages and the EPT translates into.
+type HPA uint64
+
+// PageNum returns the 4 KiB virtual page number of v.
+func (v VA) PageNum() uint64 { return uint64(v) >> PageShift }
+
+// PageOff returns the offset of v within its 4 KiB page.
+func (v VA) PageOff() uint64 { return uint64(v) & PageMask }
+
+// PageBase returns v rounded down to its 4 KiB page boundary.
+func (v VA) PageBase() VA { return v &^ VA(PageMask) }
+
+// Index returns the 9-bit page-table index of v at the given level.
+// Level 4 is the root (PML4), level 1 is the leaf page table.
+func (v VA) Index(level int) int {
+	shift := PageShift + 9*(level-1)
+	return int((uint64(v) >> shift) & 0x1ff)
+}
+
+// PageBase returns g rounded down to its 4 KiB page boundary.
+func (g GPA) PageBase() GPA { return g &^ GPA(PageMask) }
+
+// PageOff returns the offset of g within its 4 KiB page.
+func (g GPA) PageOff() uint64 { return uint64(g) & PageMask }
+
+// Index returns the 9-bit EPT index of g at the given level (4 = root).
+func (g GPA) Index(level int) int {
+	shift := PageShift + 9*(level-1)
+	return int((uint64(g) >> shift) & 0x1ff)
+}
+
+// PageBase returns h rounded down to its 4 KiB page boundary.
+func (h HPA) PageBase() HPA { return h &^ HPA(PageMask) }
+
+// LineBase returns h rounded down to its cache-line boundary.
+func (h HPA) LineBase() HPA { return h &^ HPA(LineSize-1) }
+
+// Access describes the kind of memory access being translated, used for
+// permission checks in both guest page tables and EPTs.
+type Access int
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+// String implements fmt.Stringer.
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}

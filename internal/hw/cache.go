@@ -1,0 +1,131 @@
+package hw
+
+import "fmt"
+
+// CacheConfig describes one level of a set-associative cache.
+type CacheConfig struct {
+	Name    string
+	Size    int // total bytes
+	Ways    int
+	Latency uint64 // cycles charged on a hit at this level
+}
+
+// CacheStats are the observable counters of one cache level, used to
+// regenerate Table 1 (processor-structure pollution).
+type CacheStats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// Cache is one level of a set-associative cache with LRU replacement,
+// indexed by host physical address at 64-byte line granularity. Levels are
+// chained via next; a miss at the last level charges memLatency.
+type Cache struct {
+	cfg CacheConfig
+	// lines is a flattened [nsets][ways] array (flat for speed: Access is
+	// the hottest function in the whole simulator).
+	lines      []cacheLine
+	ways       int
+	setMask    uint64
+	next       *Cache
+	memLatency uint64
+	clock      uint64 // monotonic counter for LRU ordering
+	Stats      CacheStats
+}
+
+// NewCache builds a cache level. next may be nil, in which case a miss
+// costs memLatency (DRAM). Size must be a power-of-two multiple of
+// Ways*LineSize.
+func NewCache(cfg CacheConfig, next *Cache, memLatency uint64) *Cache {
+	lines := cfg.Size / LineSize
+	if lines == 0 || lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("hw: cache %q: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways))
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("hw: cache %q: set count %d not a power of two", cfg.Name, nsets))
+	}
+	return &Cache{
+		cfg:        cfg,
+		lines:      make([]cacheLine, lines),
+		ways:       cfg.Ways,
+		setMask:    uint64(nsets - 1),
+		next:       next,
+		memLatency: memLatency,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access touches the line containing h and returns the cycles the access
+// cost: this level's latency plus, on a miss, the cost of filling from the
+// next level (or DRAM).
+func (c *Cache) Access(h HPA, write bool) uint64 {
+	c.clock++
+	c.Stats.Accesses++
+	lineAddr := uint64(h) >> LineShift
+	base := int(lineAddr&c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			c.Stats.Hits++
+			set[i].lru = c.clock
+			return c.cfg.Latency
+		}
+	}
+	c.Stats.Misses++
+	cost := c.cfg.Latency
+	if c.next != nil {
+		cost += c.next.Access(h, write)
+	} else {
+		cost += c.memLatency
+	}
+	// Fill: evict the LRU way.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{tag: lineAddr, valid: true, lru: c.clock}
+	return cost
+}
+
+// Contains reports whether the line holding h is currently cached at this
+// level, without touching LRU state or counters.
+func (c *Cache) Contains(h HPA) bool {
+	lineAddr := uint64(h) >> LineShift
+	base := int(lineAddr&c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line (used only by tests and ablations; SkyBridge
+// itself never flushes caches).
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+}
+
+// ResetStats zeroes the counters without touching cache contents, so an
+// experiment can warm up and then measure.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }

@@ -1,0 +1,160 @@
+package hw
+
+import "testing"
+
+func testCacheChain() (l1, l2, l3 *Cache) {
+	l3 = NewCache(CacheConfig{Name: "L3", Size: 1 << 20, Ways: 16, Latency: 42}, nil, 200)
+	l2 = NewCache(CacheConfig{Name: "L2", Size: 1 << 16, Ways: 4, Latency: 12}, l3, 0)
+	l1 = NewCache(CacheConfig{Name: "L1", Size: 1 << 13, Ways: 8, Latency: 4}, l2, 0)
+	return
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	l1, _, _ := testCacheChain()
+	cold := l1.Access(0x1000, false)
+	if cold != 4+12+42+200 {
+		t.Fatalf("cold miss cost %d, want %d", cold, 4+12+42+200)
+	}
+	warm := l1.Access(0x1000, false)
+	if warm != 4 {
+		t.Fatalf("warm hit cost %d, want 4", warm)
+	}
+	if l1.Stats.Hits != 1 || l1.Stats.Misses != 1 {
+		t.Fatalf("stats %+v", l1.Stats)
+	}
+}
+
+func TestCacheSameLineDifferentBytesHit(t *testing.T) {
+	l1, _, _ := testCacheChain()
+	l1.Access(0x1000, false)
+	if got := l1.Access(0x103f, false); got != 4 {
+		t.Fatalf("access within line cost %d, want 4", got)
+	}
+	if got := l1.Access(0x1040, false); got == 4 {
+		t.Fatal("next line should miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets: 4 lines of 64B => size 256.
+	c := NewCache(CacheConfig{Name: "tiny", Size: 256, Ways: 2, Latency: 1}, nil, 100)
+	// Three lines mapping to set 0 (stride = nsets*64 = 128).
+	c.Access(0x0000, false)
+	c.Access(0x0080, false)
+	c.Access(0x0000, false) // refresh line 0
+	c.Access(0x0100, false) // evicts 0x0080 (LRU)
+	if !c.Contains(0x0000) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Contains(0x0080) {
+		t.Fatal("LRU line survived")
+	}
+	if !c.Contains(0x0100) {
+		t.Fatal("newly filled line missing")
+	}
+}
+
+func TestCacheSharedLowerLevel(t *testing.T) {
+	l3 := NewCache(CacheConfig{Name: "L3", Size: 1 << 20, Ways: 16, Latency: 42}, nil, 200)
+	l1a := NewCache(CacheConfig{Name: "a", Size: 1 << 13, Ways: 8, Latency: 4}, l3, 0)
+	l1b := NewCache(CacheConfig{Name: "b", Size: 1 << 13, Ways: 8, Latency: 4}, l3, 0)
+	l1a.Access(0x4000, false)
+	// Core b misses L1 but hits the shared L3 warmed by core a.
+	if got := l1b.Access(0x4000, false); got != 4+42 {
+		t.Fatalf("cross-core L3 hit cost %d, want %d", got, 4+42)
+	}
+}
+
+func TestCacheFlushAndResetStats(t *testing.T) {
+	l1, _, _ := testCacheChain()
+	l1.Access(0x1000, false)
+	l1.Flush()
+	if l1.Contains(0x1000) {
+		t.Fatal("line survived flush")
+	}
+	l1.ResetStats()
+	if l1.Stats != (CacheStats{}) {
+		t.Fatalf("stats not reset: %+v", l1.Stats)
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two sets")
+		}
+	}()
+	NewCache(CacheConfig{Name: "bad", Size: 3 * 64, Ways: 1, Latency: 1}, nil, 10)
+}
+
+func TestTLBInsertLookup(t *testing.T) {
+	tlb := NewTLB(4)
+	tag := TLBTag{VPID: 1, PCID: 2}
+	tlb.Insert(tag, 0x100, 0x5000, PTEUser)
+	pfn, flags, ok := tlb.Lookup(tag, 0x100)
+	if !ok || pfn != 0x5000 || flags != PTEUser {
+		t.Fatalf("lookup: %#x %#x %v", uint64(pfn), uint64(flags), ok)
+	}
+}
+
+func TestTLBTagIsolation(t *testing.T) {
+	tlb := NewTLB(8)
+	a := TLBTag{VPID: 1, PCID: 1}
+	b := TLBTag{VPID: 1, PCID: 2}
+	tlb.Insert(a, 0x100, 0x5000, 0)
+	if _, _, ok := tlb.Lookup(b, 0x100); ok {
+		t.Fatal("entry visible under different PCID tag")
+	}
+	c := TLBTag{VPID: 1, PCID: 1, EPTP: 0x9000}
+	if _, _, ok := tlb.Lookup(c, 0x100); ok {
+		t.Fatal("entry visible under different EPTP tag")
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tag := TLBTag{}
+	tlb.Insert(tag, 1, 0x1000, 0)
+	tlb.Insert(tag, 2, 0x2000, 0)
+	tlb.Lookup(tag, 1) // refresh 1
+	tlb.Insert(tag, 3, 0x3000, 0)
+	if _, _, ok := tlb.Lookup(tag, 2); ok {
+		t.Fatal("LRU entry 2 survived")
+	}
+	if _, _, ok := tlb.Lookup(tag, 1); !ok {
+		t.Fatal("recently used entry 1 evicted")
+	}
+}
+
+func TestTLBFlushTag(t *testing.T) {
+	tlb := NewTLB(8)
+	a := TLBTag{VPID: 1}
+	b := TLBTag{VPID: 2}
+	tlb.Insert(a, 1, 0x1000, 0)
+	tlb.Insert(b, 1, 0x2000, 0)
+	tlb.FlushTag(a)
+	if _, _, ok := tlb.Lookup(a, 1); ok {
+		t.Fatal("flushed tag survived")
+	}
+	if _, _, ok := tlb.Lookup(b, 1); !ok {
+		t.Fatal("other tag flushed")
+	}
+	tlb.FlushAll()
+	if tlb.Len() != 0 {
+		t.Fatal("FlushAll left entries")
+	}
+}
+
+func TestTLBUpdateInPlace(t *testing.T) {
+	tlb := NewTLB(2)
+	tag := TLBTag{}
+	tlb.Insert(tag, 1, 0x1000, 0)
+	tlb.Insert(tag, 1, 0x9000, PTEWrite)
+	if tlb.Len() != 1 {
+		t.Fatalf("duplicate insert grew TLB to %d", tlb.Len())
+	}
+	pfn, flags, _ := tlb.Lookup(tag, 1)
+	if pfn != 0x9000 || flags != PTEWrite {
+		t.Fatal("in-place update lost")
+	}
+}

@@ -1,0 +1,88 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEPTRemapAgainstModel drives random RemapGPA operations on a clone and
+// checks translations against a model map, including that untouched
+// addresses keep their identity mapping and the base EPT never changes.
+func TestEPTRemapAgainstModel(t *testing.T) {
+	mem := NewPhysMem(4 << 30)
+	base := NewEPT(mem)
+	if err := base.MapIdentityRange(0, 2, Page1GSize, EPTAll); err != nil {
+		t.Fatal(err)
+	}
+	clone := base.CloneShallow()
+	rng := rand.New(rand.NewSource(11))
+	model := map[GPA]HPA{}
+
+	for step := 0; step < 400; step++ {
+		gpa := GPA(rng.Intn(2<<30)) &^ GPA(PageMask)
+		switch rng.Intn(3) {
+		case 0, 1: // remap to a random frame
+			hpa := HPA(rng.Intn(2<<30)) &^ HPA(PageMask)
+			if _, err := clone.RemapGPA(gpa, hpa, EPTAll); err != nil {
+				t.Fatalf("step %d: remap: %v", step, err)
+			}
+			model[gpa] = hpa
+		case 2: // check a random page
+			want, remapped := model[gpa]
+			if !remapped {
+				want = HPA(gpa)
+			}
+			got, v := clone.Translate(gpa+GPA(rng.Intn(PageSize)), AccessRead)
+			if v != nil {
+				t.Fatalf("step %d: violation: %v", step, v)
+			}
+			if got.PageBase() != want {
+				t.Fatalf("step %d: gpa %#x -> %#x, want %#x", step, uint64(gpa), uint64(got), uint64(want))
+			}
+			// Base stays identity throughout.
+			bgot, bv := base.Translate(gpa, AccessRead)
+			if bv != nil || bgot != HPA(gpa) {
+				t.Fatalf("step %d: base EPT corrupted at %#x", step, uint64(gpa))
+			}
+		}
+	}
+	// Full sweep of every remapped page.
+	for gpa, want := range model {
+		got, v := clone.Translate(gpa, AccessRead)
+		if v != nil || got != want {
+			t.Fatalf("final: gpa %#x -> %#x (%v), want %#x", uint64(gpa), uint64(got), v, uint64(want))
+		}
+	}
+}
+
+// TestTLBCapacityRespected: the TLB never exceeds its configured capacity
+// under random insert workloads.
+func TestTLBCapacityRespected(t *testing.T) {
+	tlb := NewTLB(64)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		tag := TLBTag{VPID: uint16(rng.Intn(4)), PCID: uint16(rng.Intn(4))}
+		tlb.Insert(tag, uint64(rng.Intn(5000)), HPA(rng.Intn(1<<20))<<PageShift, PTEUser)
+		if tlb.Len() > 64 {
+			t.Fatalf("TLB grew to %d entries", tlb.Len())
+		}
+	}
+}
+
+// TestCacheInclusionOfCosts: a hit at L1 never costs more than a miss, and
+// the miss cost equals the sum of the chain's latencies.
+func TestCacheInclusionOfCosts(t *testing.T) {
+	l3 := NewCache(CacheConfig{Name: "L3", Size: 1 << 20, Ways: 16, Latency: 42}, nil, 200)
+	l2 := NewCache(CacheConfig{Name: "L2", Size: 1 << 16, Ways: 4, Latency: 12}, l3, 0)
+	l1 := NewCache(CacheConfig{Name: "L1", Size: 1 << 13, Ways: 8, Latency: 4}, l2, 0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		addr := HPA(rng.Intn(1<<21)) &^ HPA(LineSize-1)
+		cost := l1.Access(addr, rng.Intn(2) == 0)
+		switch cost {
+		case 4, 4 + 12, 4 + 12 + 42, 4 + 12 + 42 + 200:
+		default:
+			t.Fatalf("impossible access cost %d", cost)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package hw
+
+import "fmt"
+
+// MachineConfig sizes a simulated machine. Zero fields take Skylake-like
+// defaults matching the paper's i7-6700K testbed.
+type MachineConfig struct {
+	Cores    int
+	MemBytes uint64
+
+	L1ISize, L1DSize, L2Size, L3Size int
+	L1Latency, L2Latency, L3Latency  uint64
+	MemLatency                       uint64
+
+	ITLBEntries, DTLBEntries int
+}
+
+func (c *MachineConfig) applyDefaults() {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.MemBytes == 0 {
+		c.MemBytes = 16 << 30
+	}
+	if c.L1ISize == 0 {
+		c.L1ISize = DefaultL1ISize
+	}
+	if c.L1DSize == 0 {
+		c.L1DSize = DefaultL1DSize
+	}
+	if c.L2Size == 0 {
+		c.L2Size = DefaultL2Size
+	}
+	if c.L3Size == 0 {
+		c.L3Size = DefaultL3Size
+	}
+	if c.L1Latency == 0 {
+		c.L1Latency = DefaultL1Latency
+	}
+	if c.L2Latency == 0 {
+		c.L2Latency = DefaultL2Latency
+	}
+	if c.L3Latency == 0 {
+		c.L3Latency = DefaultL3Latency
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = DefaultMemLatency
+	}
+	if c.ITLBEntries == 0 {
+		c.ITLBEntries = DefaultITLBEntries
+	}
+	if c.DTLBEntries == 0 {
+		c.DTLBEntries = DefaultDTLBEntries
+	}
+}
+
+// ExitHandler is the Rootkernel's entry point for VM exits. It runs in root
+// mode on the exiting core. Returning a non-nil error aborts the faulting
+// operation (the simulator's analogue of killing the guest).
+type ExitHandler func(c *CPU, exit *VMExit) error
+
+// Machine is a multicore simulated machine: shared physical memory, a
+// shared L3, per-core private L1/L2 caches and TLBs.
+type Machine struct {
+	Config MachineConfig
+	Mem    *PhysMem
+	Cores  []*CPU
+	L3     *Cache
+
+	exitHandler ExitHandler
+
+	// Counters.
+	VMExits  map[ExitReason]uint64
+	IPICount uint64
+}
+
+// NewMachine builds a machine from cfg (zero-value fields defaulted).
+func NewMachine(cfg MachineConfig) *Machine {
+	cfg.applyDefaults()
+	m := &Machine{
+		Config:  cfg,
+		Mem:     NewPhysMem(cfg.MemBytes),
+		VMExits: make(map[ExitReason]uint64),
+	}
+	m.L3 = NewCache(CacheConfig{Name: "L3", Size: cfg.L3Size, Ways: 16, Latency: cfg.L3Latency}, nil, cfg.MemLatency)
+	for i := 0; i < cfg.Cores; i++ {
+		l2 := NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L2", i), Size: cfg.L2Size, Ways: 4, Latency: cfg.L2Latency}, m.L3, 0)
+		cpu := &CPU{
+			ID:   i,
+			mach: m,
+			Mode: ModeKernel,
+			VPID: uint16(i + 1),
+			L1I:  NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L1I", i), Size: cfg.L1ISize, Ways: 8, Latency: cfg.L1Latency}, l2, 0),
+			L1D:  NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L1D", i), Size: cfg.L1DSize, Ways: 8, Latency: cfg.L1Latency}, l2, 0),
+			L2:   l2,
+			ITLB: NewTLB(cfg.ITLBEntries),
+			DTLB: NewTLB(cfg.DTLBEntries),
+		}
+		m.Cores = append(m.Cores, cpu)
+	}
+	return m
+}
+
+// SetExitHandler installs the Rootkernel's VM-exit handler.
+func (m *Machine) SetExitHandler(h ExitHandler) { m.exitHandler = h }
+
+// deliverExit charges the exit cost, counts it, and runs the handler.
+func (m *Machine) deliverExit(c *CPU, exit *VMExit) error {
+	c.Clock += CostVMExit
+	m.VMExits[exit.Reason]++
+	if m.exitHandler == nil {
+		return fmt.Errorf("hw: unhandled %v (no hypervisor installed)", exit)
+	}
+	return m.exitHandler(c, exit)
+}
+
+// TotalVMExits sums exits across all reasons.
+func (m *Machine) TotalVMExits() uint64 {
+	var n uint64
+	for _, v := range m.VMExits {
+		n += v
+	}
+	return n
+}
+
+// ResetVMExitCounts zeroes the exit counters (e.g. after boot, so Table 5
+// measures steady-state exits only).
+func (m *Machine) ResetVMExitCounts() { clear(m.VMExits) }
+
+// SendIPI charges the inter-processor-interrupt cost to the sending core
+// and counts the event. Wakeup semantics live in the discrete-event layer.
+func (m *Machine) SendIPI(from, to int) {
+	if from < 0 || from >= len(m.Cores) || to < 0 || to >= len(m.Cores) {
+		panic(fmt.Sprintf("hw: SendIPI %d -> %d out of range", from, to))
+	}
+	m.Cores[from].Clock += CostIPI
+	m.IPICount++
+}
+
+// ResetStats clears all cache, TLB, and counter state across the machine
+// (contents are preserved; only statistics reset).
+func (m *Machine) ResetStats() {
+	m.L3.ResetStats()
+	for _, c := range m.Cores {
+		c.L1I.ResetStats()
+		c.L1D.ResetStats()
+		c.L2.ResetStats()
+		c.ITLB.ResetStats()
+		c.DTLB.ResetStats()
+		c.Counters = CPUCounters{}
+	}
+	m.IPICount = 0
+}

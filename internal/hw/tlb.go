@@ -1,0 +1,105 @@
+package hw
+
+// TLBTag identifies the translation context an entry belongs to. Real
+// Skylake hardware tags combined-mapping TLB entries with (VPID, PCID,
+// EPTP); we carry exactly those three components. Because entries are
+// tagged, neither a CR3 write with PCID enabled nor a VMFUNC EPTP switch
+// with VPID enabled needs to flush the TLB — the property SkyBridge's 134-
+// cycle address-space switch depends on (paper §2.2).
+type TLBTag struct {
+	VPID uint16
+	PCID uint16
+	EPTP HPA // root of the EPT active when the entry was filled
+}
+
+// TLBStats are the observable counters of a TLB.
+type TLBStats struct {
+	Lookups uint64
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+type tlbKey struct {
+	tag TLBTag
+	vpn uint64
+}
+
+type tlbEntry struct {
+	pfn   HPA
+	flags PTFlags
+	lru   uint64
+}
+
+// TLB is a fully-associative, LRU-replaced translation cache keyed by
+// (tag, virtual page number) and mapping to a host-physical frame.
+type TLB struct {
+	capacity int
+	entries  map[tlbKey]*tlbEntry
+	clock    uint64
+	Stats    TLBStats
+}
+
+// NewTLB creates a TLB with the given entry capacity.
+func NewTLB(capacity int) *TLB {
+	return &TLB{capacity: capacity, entries: make(map[tlbKey]*tlbEntry, capacity)}
+}
+
+// Lookup returns the cached translation for (tag, vpn) if present.
+func (t *TLB) Lookup(tag TLBTag, vpn uint64) (HPA, PTFlags, bool) {
+	t.clock++
+	t.Stats.Lookups++
+	e, ok := t.entries[tlbKey{tag, vpn}]
+	if !ok {
+		t.Stats.Misses++
+		return 0, 0, false
+	}
+	t.Stats.Hits++
+	e.lru = t.clock
+	return e.pfn, e.flags, true
+}
+
+// Insert caches a translation, evicting the least recently used entry if
+// the TLB is full.
+func (t *TLB) Insert(tag TLBTag, vpn uint64, pfn HPA, flags PTFlags) {
+	t.clock++
+	k := tlbKey{tag, vpn}
+	if e, ok := t.entries[k]; ok {
+		e.pfn, e.flags, e.lru = pfn, flags, t.clock
+		return
+	}
+	if len(t.entries) >= t.capacity {
+		var victim tlbKey
+		var oldest uint64 = ^uint64(0)
+		for k, e := range t.entries {
+			if e.lru < oldest {
+				oldest, victim = e.lru, k
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.entries[k] = &tlbEntry{pfn: pfn, flags: flags, lru: t.clock}
+}
+
+// FlushAll invalidates every entry (a CR3 write with PCID disabled, or an
+// INVEPT).
+func (t *TLB) FlushAll() {
+	t.Stats.Flushes++
+	clear(t.entries)
+}
+
+// FlushTag invalidates all entries with the given tag (INVVPID/INVPCID).
+func (t *TLB) FlushTag(tag TLBTag) {
+	t.Stats.Flushes++
+	for k := range t.entries {
+		if k.tag == tag {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// Len returns the number of resident entries.
+func (t *TLB) Len() int { return len(t.entries) }
+
+// ResetStats zeroes the counters without invalidating entries.
+func (t *TLB) ResetStats() { t.Stats = TLBStats{} }

@@ -1,0 +1,507 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DecodeError reports an undecodable byte sequence.
+type DecodeError struct {
+	Off  int
+	Byte byte
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: cannot decode at +%d (byte %#02x): %s", e.Off, e.Byte, e.Msg)
+}
+
+type decoder struct {
+	b   []byte
+	off int
+
+	rexW, rexR, rexX, rexB bool
+	hasREX                 bool
+
+	inst Inst
+}
+
+func (d *decoder) err(msg string) error {
+	b := byte(0)
+	if d.off < len(d.b) {
+		b = d.b[d.off]
+	}
+	return &DecodeError{Off: d.off, Byte: b, Msg: msg}
+}
+
+func (d *decoder) byteAt(i int) (byte, error) {
+	if i >= len(d.b) {
+		return 0, &DecodeError{Off: i, Msg: "truncated instruction"}
+	}
+	return d.b[i], nil
+}
+
+func (d *decoder) next() (byte, error) {
+	v, err := d.byteAt(d.off)
+	if err == nil {
+		d.off++
+	}
+	return v, err
+}
+
+func (d *decoder) imm32() (int32, error) {
+	if d.off+4 > len(d.b) {
+		return 0, &DecodeError{Off: d.off, Msg: "truncated imm32"}
+	}
+	v := int32(binary.LittleEndian.Uint32(d.b[d.off:]))
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) imm64() (int64, error) {
+	if d.off+8 > len(d.b) {
+		return 0, &DecodeError{Off: d.off, Msg: "truncated imm64"}
+	}
+	v := int64(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+// extReg applies a REX extension bit to a 3-bit register field.
+func extReg(low byte, ext bool) Reg {
+	r := Reg(low & 7)
+	if ext {
+		r += 8
+	}
+	return r
+}
+
+// parseModRM decodes ModRM (+SIB, +disp), recording field offsets. It
+// returns the reg field (extended by REX.R) and either a register rm or a
+// memory operand.
+func (d *decoder) parseModRM() (reg Reg, rm Reg, m Mem, isMem bool, err error) {
+	d.inst.ModRMOff = d.off
+	mb, err := d.next()
+	if err != nil {
+		return 0, 0, Mem{}, false, err
+	}
+	mod := mb >> 6
+	reg = extReg(mb>>3, d.rexR)
+	rmLow := mb & 7
+
+	if mod == 3 {
+		return reg, extReg(rmLow, d.rexB), Mem{}, false, nil
+	}
+
+	m = Mem{Base: NoReg, Index: NoReg, Scale: 1}
+	switch {
+	case rmLow == 4: // SIB
+		d.inst.SIBOff = d.off
+		sib, e := d.next()
+		if e != nil {
+			return 0, 0, Mem{}, false, e
+		}
+		ss := sib >> 6
+		idx := (sib >> 3) & 7
+		base := sib & 7
+		if !(idx == 4 && !d.rexX) { // index=100 with no REX.X means "none"
+			m.Index = extReg(idx, d.rexX)
+			m.Scale = 1 << ss
+		}
+		if base == 5 && mod == 0 {
+			// No base, disp32 follows.
+			d.inst.DispOff, d.inst.DispLen = d.off, 4
+			disp, e := d.imm32()
+			if e != nil {
+				return 0, 0, Mem{}, false, e
+			}
+			m.Disp = disp
+			return reg, 0, m, true, nil
+		}
+		m.Base = extReg(base, d.rexB)
+	case rmLow == 5 && mod == 0: // RIP-relative
+		m.RIPRel = true
+		d.inst.DispOff, d.inst.DispLen = d.off, 4
+		disp, e := d.imm32()
+		if e != nil {
+			return 0, 0, Mem{}, false, e
+		}
+		m.Disp = disp
+		return reg, 0, m, true, nil
+	default:
+		m.Base = extReg(rmLow, d.rexB)
+	}
+
+	switch mod {
+	case 1:
+		d.inst.DispOff, d.inst.DispLen = d.off, 1
+		b, e := d.next()
+		if e != nil {
+			return 0, 0, Mem{}, false, e
+		}
+		m.Disp = int32(int8(b))
+	case 2:
+		d.inst.DispOff, d.inst.DispLen = d.off, 4
+		disp, e := d.imm32()
+		if e != nil {
+			return 0, 0, Mem{}, false, e
+		}
+		m.Disp = disp
+	}
+	return reg, 0, m, true, nil
+}
+
+// setRM stores a decoded reg/rm pair on the instruction: regIsDst selects
+// whether the ModRM reg field is the destination.
+func (d *decoder) setRM(regIsDst bool, reg, rm Reg, m Mem, isMem bool) {
+	if isMem {
+		d.inst.HasMem = true
+		d.inst.M = m
+		d.inst.MemIsDst = !regIsDst
+		if regIsDst {
+			d.inst.Dst = reg
+		} else {
+			d.inst.Src = reg
+		}
+		return
+	}
+	if regIsDst {
+		d.inst.Dst, d.inst.Src = reg, rm
+	} else {
+		d.inst.Dst, d.inst.Src = rm, reg
+	}
+}
+
+// aluByExt maps the 81/83 /n extension to the ALU op.
+var aluByExt = map[byte]Op{0: ADD, 1: OR, 4: AND, 5: SUB, 6: XOR, 7: CMP}
+
+// aluByBase maps base opcodes to ALU ops.
+var aluByBase = map[byte]Op{0x00: ADD, 0x08: OR, 0x20: AND, 0x28: SUB, 0x30: XOR, 0x38: CMP}
+
+// Decode decodes the instruction at the start of b. Unrecognized encodings
+// return a *DecodeError. The returned Inst records the offsets of every
+// encoding field, which the VMFUNC rewriter relies on.
+func Decode(b []byte) (Inst, error) {
+	d := &decoder{b: b}
+	d.inst = Inst{ModRMOff: -1, SIBOff: -1, DispOff: -1, ImmOff: -1, Dst: NoReg, Src: NoReg}
+
+	op, err := d.next()
+	if err != nil {
+		return Inst{}, err
+	}
+	if op >= 0x40 && op <= 0x4f {
+		d.hasREX = true
+		d.rexW = op&8 != 0
+		d.rexR = op&4 != 0
+		d.rexX = op&2 != 0
+		d.rexB = op&1 != 0
+		op, err = d.next()
+		if err != nil {
+			return Inst{}, err
+		}
+	}
+	d.inst.OpcodeOff = d.off - 1
+	d.inst.OpcodeLen = 1
+
+	finish := func(o Op) (Inst, error) {
+		d.inst.Op = o
+		d.inst.Len = d.off
+		d.inst.Raw = append([]byte(nil), d.b[:d.off]...)
+		return d.inst, nil
+	}
+
+	switch {
+	case op == 0x90:
+		return finish(NOP)
+	case op == 0xc3:
+		return finish(RET)
+	case op == 0xcc:
+		return finish(INT3)
+	case op == 0xf4:
+		return finish(HLT)
+
+	case op >= 0x50 && op <= 0x57:
+		d.inst.Dst = extReg(op-0x50, d.rexB)
+		return finish(PUSH)
+	case op >= 0x58 && op <= 0x5f:
+		d.inst.Dst = extReg(op-0x58, d.rexB)
+		return finish(POP)
+
+	case op == 0x0f:
+		return d.decode0F()
+
+	case op == 0x89 || op == 0x8b:
+		if !d.rexW {
+			return Inst{}, d.err("32-bit mov not supported")
+		}
+		reg, rm, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.setRM(op == 0x8b, reg, rm, m, isMem)
+		return finish(MOV)
+
+	case op >= 0xb8 && op <= 0xbf:
+		if !d.rexW {
+			return Inst{}, d.err("mov r32, imm32 not supported")
+		}
+		d.inst.Dst = extReg(op-0xb8, d.rexB)
+		d.inst.ImmOff, d.inst.ImmLen = d.off, 8
+		imm, e := d.imm64()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.inst.Imm, d.inst.HasImm = imm, true
+		return finish(MOVI)
+
+	case op == 0xc7:
+		if !d.rexW {
+			return Inst{}, d.err("mov r/m32, imm32 not supported")
+		}
+		reg, rm, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		if reg&7 != 0 {
+			return Inst{}, d.err("C7 with /n != 0")
+		}
+		if isMem {
+			d.inst.HasMem, d.inst.M, d.inst.MemIsDst = true, m, true
+			d.inst.Dst = NoReg
+		} else {
+			d.inst.Dst = rm
+		}
+		d.inst.ImmOff, d.inst.ImmLen = d.off, 4
+		imm, e := d.imm32()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.inst.Imm, d.inst.HasImm = int64(imm), true
+		return finish(MOVI)
+
+	case op == 0x81 || op == 0x83:
+		if !d.rexW {
+			return Inst{}, d.err("32-bit ALU imm not supported")
+		}
+		reg, rm, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		alu, ok := aluByExt[byte(reg)&7]
+		if !ok {
+			return Inst{}, d.err("unsupported 81/83 extension")
+		}
+		if isMem {
+			d.inst.HasMem, d.inst.M, d.inst.MemIsDst = true, m, true
+			d.inst.Dst = NoReg
+		} else {
+			d.inst.Dst = rm
+		}
+		if op == 0x81 {
+			d.inst.ImmOff, d.inst.ImmLen = d.off, 4
+			imm, e := d.imm32()
+			if e != nil {
+				return Inst{}, e
+			}
+			d.inst.Imm = int64(imm)
+		} else {
+			d.inst.ImmOff, d.inst.ImmLen = d.off, 1
+			bb, e := d.next()
+			if e != nil {
+				return Inst{}, e
+			}
+			d.inst.Imm = int64(int8(bb))
+		}
+		d.inst.HasImm = true
+		return finish(alu)
+
+	case op == 0x85:
+		if !d.rexW {
+			return Inst{}, d.err("32-bit test not supported")
+		}
+		reg, rm, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.setRM(false, reg, rm, m, isMem)
+		return finish(TEST)
+
+	case op == 0x8d:
+		if !d.rexW {
+			return Inst{}, d.err("32-bit lea not supported")
+		}
+		reg, _, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		if !isMem {
+			return Inst{}, d.err("lea with register operand")
+		}
+		d.inst.Dst = reg
+		d.inst.M, d.inst.HasMem = m, true
+		return finish(LEA)
+
+	case op == 0x69 || op == 0x6b:
+		if !d.rexW {
+			return Inst{}, d.err("32-bit imul not supported")
+		}
+		reg, rm, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.inst.Dst = reg
+		if isMem {
+			d.inst.M, d.inst.HasMem = m, true
+		} else {
+			d.inst.Src = rm
+		}
+		if op == 0x69 {
+			d.inst.ImmOff, d.inst.ImmLen = d.off, 4
+			imm, e := d.imm32()
+			if e != nil {
+				return Inst{}, e
+			}
+			d.inst.Imm = int64(imm)
+		} else {
+			d.inst.ImmOff, d.inst.ImmLen = d.off, 1
+			bb, e := d.next()
+			if e != nil {
+				return Inst{}, e
+			}
+			d.inst.Imm = int64(int8(bb))
+		}
+		d.inst.HasImm = true
+		return finish(IMUL3)
+
+	case op == 0xe9:
+		d.inst.ImmOff, d.inst.ImmLen = d.off, 4
+		rel, e := d.imm32()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.inst.Rel = rel
+		return finish(JMP)
+	case op == 0xeb:
+		d.inst.ImmOff, d.inst.ImmLen = d.off, 1
+		bb, e := d.next()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.inst.Rel = int32(int8(bb))
+		return finish(JMP)
+	case op == 0xe8:
+		d.inst.ImmOff, d.inst.ImmLen = d.off, 4
+		rel, e := d.imm32()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.inst.Rel = rel
+		return finish(CALL)
+	}
+
+	// Register/memory ALU forms: base+1 (rm, r) and base+3 (r, rm).
+	if alu, ok := aluByBase[op&^0x03]; ok && (op&0x03 == 0x01 || op&0x03 == 0x03) {
+		reg, rm, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		if !d.rexW {
+			// 32-bit operand size: support the register-direct form only.
+			if isMem {
+				return Inst{}, d.err("32-bit ALU with memory operand not supported")
+			}
+			d.inst.Bits32 = true
+		}
+		d.setRM(op&0x03 == 0x03, reg, rm, m, isMem)
+		return finish(alu)
+	}
+
+	return Inst{}, d.err("unknown opcode")
+}
+
+// decode0F handles two-byte (0F xx) opcodes.
+func (d *decoder) decode0F() (Inst, error) {
+	op2, err := d.next()
+	if err != nil {
+		return Inst{}, err
+	}
+	d.inst.OpcodeLen = 2
+
+	finish := func(o Op) (Inst, error) {
+		d.inst.Op = o
+		d.inst.Len = d.off
+		d.inst.Raw = append([]byte(nil), d.b[:d.off]...)
+		return d.inst, nil
+	}
+
+	switch {
+	case op2 == 0x01:
+		b3, e := d.next()
+		if e != nil {
+			return Inst{}, e
+		}
+		if b3 != 0xd4 {
+			return Inst{}, d.err("0F 01 group: only VMFUNC supported")
+		}
+		d.inst.OpcodeLen = 3
+		return finish(VMFUNC)
+	case op2 == 0x05:
+		return finish(SYSCALL)
+	case op2 == 0x1f:
+		// Multi-byte NOP: 0F 1F /0.
+		_, rm, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		_ = rm
+		_ = m
+		_ = isMem
+		return finish(NOP)
+	case op2 == 0xaf:
+		if !d.rexW {
+			return Inst{}, d.err("32-bit imul not supported")
+		}
+		reg, rm, m, isMem, e := d.parseModRM()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.inst.Dst = reg
+		if isMem {
+			d.inst.M, d.inst.HasMem = m, true
+		} else {
+			d.inst.Src = rm
+		}
+		return finish(IMUL2)
+	case op2 >= 0x80 && op2 <= 0x8f:
+		d.inst.Cond = Cond(op2 - 0x80)
+		d.inst.ImmOff, d.inst.ImmLen = d.off, 4
+		rel, e := d.imm32()
+		if e != nil {
+			return Inst{}, e
+		}
+		d.inst.Rel = rel
+		return finish(JCC)
+	}
+	return Inst{}, d.err("unknown 0F opcode")
+}
+
+// DecodeAll linearly decodes an entire byte stream, returning the decoded
+// instructions. It fails if any byte sequence is undecodable — code pages
+// handed to the rewriter must consist entirely of supported instructions.
+func DecodeAll(b []byte) ([]Inst, error) {
+	var out []Inst
+	off := 0
+	for off < len(b) {
+		in, err := Decode(b[off:])
+		if err != nil {
+			if de, ok := err.(*DecodeError); ok {
+				de.Off += off
+			}
+			return out, err
+		}
+		out = append(out, in)
+		off += in.Len
+	}
+	return out, nil
+}

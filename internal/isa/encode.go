@@ -1,0 +1,365 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Asm is an incremental assembler for the supported x86-64 subset. All
+// register-register and register-memory operations are 64-bit (REX.W).
+type Asm struct {
+	buf []byte
+}
+
+// Bytes returns the assembled machine code.
+func (a *Asm) Bytes() []byte { return a.buf }
+
+// Len returns the current length in bytes.
+func (a *Asm) Len() int { return len(a.buf) }
+
+func (a *Asm) emit(b ...byte) { a.buf = append(a.buf, b...) }
+
+func (a *Asm) emit32(v int32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	a.emit(b[:]...)
+}
+
+func (a *Asm) emit64(v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	a.emit(b[:]...)
+}
+
+// rex builds a REX prefix byte. w selects 64-bit operands; r, x, b extend
+// the ModRM.reg, SIB.index, and ModRM.rm/SIB.base fields.
+func rex(w bool, r, x, b Reg) byte {
+	v := byte(0x40)
+	if w {
+		v |= 8
+	}
+	if r >= R8 {
+		v |= 4
+	}
+	if x >= R8 {
+		v |= 2
+	}
+	if b >= R8 {
+		v |= 1
+	}
+	return v
+}
+
+// modRM assembles the ModRM byte.
+func modRM(mod, reg, rm byte) byte { return mod<<6 | (reg&7)<<3 | rm&7 }
+
+// emitModRMReg emits ModRM for a register-direct rm operand.
+func (a *Asm) emitModRMReg(reg, rm Reg) {
+	a.emit(modRM(3, byte(reg), byte(rm)))
+}
+
+// emitModRMMem emits ModRM (+SIB, +disp) for a memory operand.
+func (a *Asm) emitModRMMem(reg Reg, m Mem) {
+	if m.RIPRel {
+		a.emit(modRM(0, byte(reg), 5))
+		a.emit32(m.Disp)
+		return
+	}
+	if m.Index == RSP {
+		panic("isa: rsp cannot be an index register")
+	}
+	scaleBits := map[int]byte{0: 0, 1: 0, 2: 1, 4: 2, 8: 3}
+	ss, ok := scaleBits[m.Scale]
+	if !ok {
+		panic(fmt.Sprintf("isa: bad scale %d", m.Scale))
+	}
+
+	needSIB := m.Index != NoReg || m.Base == NoReg || m.Base == RSP || m.Base == R12
+
+	// Choose mod / displacement size.
+	var mod byte
+	switch {
+	case m.Base == NoReg:
+		mod = 0 // absolute disp32 via SIB base=101
+	case m.Disp == 0 && m.Base != RBP && m.Base != R13:
+		mod = 0
+	case m.Disp >= -128 && m.Disp <= 127:
+		mod = 1
+	default:
+		mod = 2
+	}
+
+	if needSIB {
+		a.emit(modRM(mod, byte(reg), 4))
+		idx := byte(4) // none
+		if m.Index != NoReg {
+			idx = byte(m.Index)
+		}
+		base := byte(5)
+		if m.Base != NoReg {
+			base = byte(m.Base)
+		}
+		a.emit(ss<<6 | (idx&7)<<3 | base&7)
+		if m.Base == NoReg {
+			a.emit32(m.Disp)
+			return
+		}
+	} else {
+		a.emit(modRM(mod, byte(reg), byte(m.Base)))
+	}
+	switch mod {
+	case 1:
+		a.emit(byte(m.Disp))
+	case 2:
+		a.emit32(m.Disp)
+	}
+}
+
+// memRegs returns the registers a memory operand references, for REX.
+func memRegs(m Mem) (base, index Reg) {
+	base, index = RAX, RAX
+	if m.Base != NoReg {
+		base = m.Base
+	}
+	if m.Index != NoReg {
+		index = m.Index
+	}
+	return
+}
+
+// --- no-operand instructions ---
+
+// Nop emits a one-byte NOP (0x90).
+func (a *Asm) Nop() { a.emit(0x90) }
+
+// Vmfunc emits VMFUNC (0F 01 D4).
+func (a *Asm) Vmfunc() { a.emit(0x0f, 0x01, 0xd4) }
+
+// Syscall emits SYSCALL (0F 05).
+func (a *Asm) Syscall() { a.emit(0x0f, 0x05) }
+
+// Ret emits RET (C3).
+func (a *Asm) Ret() { a.emit(0xc3) }
+
+// Int3 emits INT3 (CC).
+func (a *Asm) Int3() { a.emit(0xcc) }
+
+// Hlt emits HLT (F4).
+func (a *Asm) Hlt() { a.emit(0xf4) }
+
+// --- stack ---
+
+// PushReg emits PUSH r64 (50+r).
+func (a *Asm) PushReg(r Reg) {
+	if r >= R8 {
+		a.emit(rex(false, RAX, RAX, r))
+	}
+	a.emit(0x50 + byte(r)&7)
+}
+
+// PopReg emits POP r64 (58+r).
+func (a *Asm) PopReg(r Reg) {
+	if r >= R8 {
+		a.emit(rex(false, RAX, RAX, r))
+	}
+	a.emit(0x58 + byte(r)&7)
+}
+
+// --- mov ---
+
+// MovRR emits MOV dst, src (REX.W 89 /r with dst in rm).
+func (a *Asm) MovRR(dst, src Reg) {
+	a.emit(rex(true, src, RAX, dst), 0x89)
+	a.emitModRMReg(src, dst)
+}
+
+// MovRM emits MOV dst, [m] (REX.W 8B /r).
+func (a *Asm) MovRM(dst Reg, m Mem) {
+	b, x := memRegs(m)
+	a.emit(rex(true, dst, x, b), 0x8b)
+	a.emitModRMMem(dst, m)
+}
+
+// MovMR emits MOV [m], src (REX.W 89 /r).
+func (a *Asm) MovMR(m Mem, src Reg) {
+	b, x := memRegs(m)
+	a.emit(rex(true, src, x, b), 0x89)
+	a.emitModRMMem(src, m)
+}
+
+// MovRI64 emits MOVABS dst, imm64 (REX.W B8+r io).
+func (a *Asm) MovRI64(dst Reg, imm int64) {
+	a.emit(rex(true, RAX, RAX, dst), 0xb8+byte(dst)&7)
+	a.emit64(imm)
+}
+
+// MovRI32 emits MOV dst, imm32 sign-extended (REX.W C7 /0 id).
+func (a *Asm) MovRI32(dst Reg, imm int32) {
+	a.emit(rex(true, RAX, RAX, dst), 0xc7)
+	a.emitModRMReg(0, dst)
+	a.emit32(imm)
+}
+
+// --- ALU ---
+
+// aluInfo maps ALU ops to (base opcode, /n extension for 81).
+var aluInfo = map[Op]struct {
+	base byte
+	ext  byte
+}{
+	ADD: {0x00, 0},
+	OR:  {0x08, 1},
+	AND: {0x20, 4},
+	SUB: {0x28, 5},
+	XOR: {0x30, 6},
+	CMP: {0x38, 7},
+}
+
+// AluRR emits <op> dst, src (REX.W base+1 /r with dst in rm).
+func (a *Asm) AluRR(op Op, dst, src Reg) {
+	info, ok := aluInfo[op]
+	if !ok {
+		panic("isa: AluRR of non-ALU op " + op.String())
+	}
+	a.emit(rex(true, src, RAX, dst), info.base+1)
+	a.emitModRMReg(src, dst)
+}
+
+// Alu32RR emits the 32-bit form <op> dst32, src32 (base+1 /r, no REX.W).
+// The result zero-extends into the 64-bit register.
+func (a *Asm) Alu32RR(op Op, dst, src Reg) {
+	info, ok := aluInfo[op]
+	if !ok {
+		panic("isa: Alu32RR of non-ALU op " + op.String())
+	}
+	if dst >= R8 || src >= R8 {
+		a.emit(rex(false, src, RAX, dst))
+	}
+	a.emit(info.base + 1)
+	a.emitModRMReg(src, dst)
+}
+
+// AluRM emits <op> dst, [m] (REX.W base+3 /r).
+func (a *Asm) AluRM(op Op, dst Reg, m Mem) {
+	info, ok := aluInfo[op]
+	if !ok {
+		panic("isa: AluRM of non-ALU op " + op.String())
+	}
+	b, x := memRegs(m)
+	a.emit(rex(true, dst, x, b), info.base+3)
+	a.emitModRMMem(dst, m)
+}
+
+// AluMR emits <op> [m], src (REX.W base+1 /r).
+func (a *Asm) AluMR(op Op, m Mem, src Reg) {
+	info, ok := aluInfo[op]
+	if !ok {
+		panic("isa: AluMR of non-ALU op " + op.String())
+	}
+	b, x := memRegs(m)
+	a.emit(rex(true, src, x, b), info.base+1)
+	a.emitModRMMem(src, m)
+}
+
+// AluRI emits <op> dst, imm32 (REX.W 81 /n id).
+func (a *Asm) AluRI(op Op, dst Reg, imm int32) {
+	info, ok := aluInfo[op]
+	if !ok {
+		panic("isa: AluRI of non-ALU op " + op.String())
+	}
+	a.emit(rex(true, RAX, RAX, dst), 0x81)
+	a.emitModRMReg(Reg(info.ext), dst)
+	a.emit32(imm)
+}
+
+// AluRI8 emits <op> dst, imm8 sign-extended (REX.W 83 /n ib).
+func (a *Asm) AluRI8(op Op, dst Reg, imm int8) {
+	info, ok := aluInfo[op]
+	if !ok {
+		panic("isa: AluRI8 of non-ALU op " + op.String())
+	}
+	a.emit(rex(true, RAX, RAX, dst), 0x83)
+	a.emitModRMReg(Reg(info.ext), dst)
+	a.emit(byte(imm))
+}
+
+// AluMI emits <op> [m], imm32 (REX.W 81 /n id).
+func (a *Asm) AluMI(op Op, m Mem, imm int32) {
+	info, ok := aluInfo[op]
+	if !ok {
+		panic("isa: AluMI of non-ALU op " + op.String())
+	}
+	b, x := memRegs(m)
+	a.emit(rex(true, RAX, x, b), 0x81)
+	a.emitModRMMem(Reg(info.ext), m)
+	a.emit32(imm)
+}
+
+// TestRR emits TEST dst, src (REX.W 85 /r).
+func (a *Asm) TestRR(dst, src Reg) {
+	a.emit(rex(true, src, RAX, dst), 0x85)
+	a.emitModRMReg(src, dst)
+}
+
+// --- imul ---
+
+// Imul2 emits IMUL dst, src (REX.W 0F AF /r).
+func (a *Asm) Imul2(dst, src Reg) {
+	a.emit(rex(true, dst, RAX, src), 0x0f, 0xaf)
+	a.emitModRMReg(dst, src)
+}
+
+// Imul2M emits IMUL dst, [m].
+func (a *Asm) Imul2M(dst Reg, m Mem) {
+	b, x := memRegs(m)
+	a.emit(rex(true, dst, x, b), 0x0f, 0xaf)
+	a.emitModRMMem(dst, m)
+}
+
+// Imul3 emits IMUL dst, src, imm32 (REX.W 69 /r id).
+func (a *Asm) Imul3(dst, src Reg, imm int32) {
+	a.emit(rex(true, dst, RAX, src), 0x69)
+	a.emitModRMReg(dst, src)
+	a.emit32(imm)
+}
+
+// Imul3M emits IMUL dst, [m], imm32.
+func (a *Asm) Imul3M(dst Reg, m Mem, imm int32) {
+	b, x := memRegs(m)
+	a.emit(rex(true, dst, x, b), 0x69)
+	a.emitModRMMem(dst, m)
+	a.emit32(imm)
+}
+
+// --- lea ---
+
+// Lea emits LEA dst, [m] (REX.W 8D /r).
+func (a *Asm) Lea(dst Reg, m Mem) {
+	b, x := memRegs(m)
+	a.emit(rex(true, dst, x, b), 0x8d)
+	a.emitModRMMem(dst, m)
+}
+
+// --- control flow ---
+
+// JmpRel32 emits JMP rel32 (E9 cd). rel is relative to the end of this
+// instruction.
+func (a *Asm) JmpRel32(rel int32) {
+	a.emit(0xe9)
+	a.emit32(rel)
+}
+
+// JmpRel8 emits JMP rel8 (EB cb).
+func (a *Asm) JmpRel8(rel int8) { a.emit(0xeb, byte(rel)) }
+
+// CallRel32 emits CALL rel32 (E8 cd).
+func (a *Asm) CallRel32(rel int32) {
+	a.emit(0xe8)
+	a.emit32(rel)
+}
+
+// Jcc emits Jcc rel32 (0F 8x cd).
+func (a *Asm) Jcc(c Cond, rel int32) {
+	a.emit(0x0f, 0x80+byte(c))
+	a.emit32(rel)
+}

@@ -1,0 +1,115 @@
+package isa
+
+import "fmt"
+
+// MovMI32 emits MOV [m], imm32 sign-extended (REX.W C7 /0 id).
+func (a *Asm) MovMI32(m Mem, imm int32) {
+	b, x := memRegs(m)
+	a.emit(rex(true, RAX, x, b), 0xc7)
+	a.emitModRMMem(0, m)
+	a.emit32(imm)
+}
+
+// TestMR emits TEST [m], src (REX.W 85 /r).
+func (a *Asm) TestMR(m Mem, src Reg) {
+	b, x := memRegs(m)
+	a.emit(rex(true, src, x, b), 0x85)
+	a.emitModRMMem(src, m)
+}
+
+// Encode re-emits a (possibly modified) decoded instruction. The rewriter
+// decodes an instruction, substitutes registers or operand values, and calls
+// Encode to produce the replacement bytes. Branch instructions are emitted
+// with the Rel currently stored on the Inst — callers adjust Rel when moving
+// an instruction to a new address.
+func (a *Asm) Encode(in Inst) error {
+	switch in.Op {
+	case NOP:
+		// Multi-byte NOPs re-encode as the equivalent run of 1-byte NOPs.
+		n := in.Len
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			a.Nop()
+		}
+	case VMFUNC:
+		a.Vmfunc()
+	case SYSCALL:
+		a.Syscall()
+	case RET:
+		a.Ret()
+	case INT3:
+		a.Int3()
+	case HLT:
+		a.Hlt()
+	case PUSH:
+		a.PushReg(in.Dst)
+	case POP:
+		a.PopReg(in.Dst)
+	case MOV:
+		switch {
+		case in.HasMem && in.MemIsDst:
+			a.MovMR(in.M, in.Src)
+		case in.HasMem:
+			a.MovRM(in.Dst, in.M)
+		default:
+			a.MovRR(in.Dst, in.Src)
+		}
+	case MOVI:
+		switch {
+		case in.HasMem:
+			a.MovMI32(in.M, int32(in.Imm))
+		case in.ImmLen == 8:
+			a.MovRI64(in.Dst, in.Imm)
+		default:
+			a.MovRI32(in.Dst, int32(in.Imm))
+		}
+	case ADD, SUB, AND, OR, XOR, CMP:
+		if in.Bits32 {
+			a.Alu32RR(in.Op, in.Dst, in.Src)
+			return nil
+		}
+		switch {
+		case in.HasImm && in.HasMem:
+			a.AluMI(in.Op, in.M, int32(in.Imm))
+		case in.HasImm:
+			a.AluRI(in.Op, in.Dst, int32(in.Imm))
+		case in.HasMem && in.MemIsDst:
+			a.AluMR(in.Op, in.M, in.Src)
+		case in.HasMem:
+			a.AluRM(in.Op, in.Dst, in.M)
+		default:
+			a.AluRR(in.Op, in.Dst, in.Src)
+		}
+	case TEST:
+		if in.HasMem {
+			a.TestMR(in.M, in.Src)
+		} else {
+			a.TestRR(in.Dst, in.Src)
+		}
+	case IMUL2:
+		if in.HasMem {
+			a.Imul2M(in.Dst, in.M)
+		} else {
+			a.Imul2(in.Dst, in.Src)
+		}
+	case IMUL3:
+		if in.HasMem {
+			a.Imul3M(in.Dst, in.M, int32(in.Imm))
+		} else {
+			a.Imul3(in.Dst, in.Src, int32(in.Imm))
+		}
+	case LEA:
+		a.Lea(in.Dst, in.M)
+	case JMP:
+		a.JmpRel32(in.Rel)
+	case CALL:
+		a.CallRel32(in.Rel)
+	case JCC:
+		a.Jcc(in.Cond, in.Rel)
+	default:
+		return fmt.Errorf("isa: cannot re-encode op %v", in.Op)
+	}
+	return nil
+}

@@ -1,0 +1,526 @@
+package mk
+
+import (
+	"errors"
+	"fmt"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/sim"
+)
+
+// Breakdown accumulates IPC path cycles by component, regenerating the
+// stacked bars of Figure 7.
+type Breakdown struct {
+	Cats   map[string]uint64
+	Rounds uint64
+}
+
+// Breakdown categories (Figure 7 legend).
+const (
+	CatVMFUNC  = "VMFUNC"
+	CatSyscall = "SYSCALL/SYSRET"
+	CatCtxSw   = "context switch"
+	CatIPI     = "IPI"
+	CatCopy    = "message copy"
+	CatSched   = "schedule"
+	CatOther   = "others"
+)
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown { return &Breakdown{Cats: make(map[string]uint64)} }
+
+// Add records cycles against a category.
+func (b *Breakdown) Add(cat string, cyc uint64) {
+	if b != nil {
+		b.Cats[cat] += cyc
+	}
+}
+
+// Total sums all categories.
+func (b *Breakdown) Total() uint64 {
+	var t uint64
+	for _, v := range b.Cats {
+		t += v
+	}
+	return t
+}
+
+// PerRound returns the per-round-trip cycles of each category.
+func (b *Breakdown) PerRound() map[string]float64 {
+	out := make(map[string]float64, len(b.Cats))
+	if b.Rounds == 0 {
+		return out
+	}
+	for k, v := range b.Cats {
+		out[k] = float64(v) / float64(b.Rounds)
+	}
+	return out
+}
+
+// record measures the cycles fn spends on cpu and attributes them.
+func (k *Kernel) record(cpu *hw.CPU, cat string, fn func()) {
+	if k.BD == nil {
+		fn()
+		return
+	}
+	t0 := cpu.Clock
+	fn()
+	k.BD.Add(cat, cpu.Clock-t0)
+}
+
+// ErrNoCapability is returned when a process invokes an endpoint it holds
+// no capability for.
+var ErrNoCapability = errors.New("mk: no capability for endpoint")
+
+// ErrTimeout is returned by CallTimeout when the server does not reply in
+// time (the DoS-defense mechanism of §7).
+var ErrTimeout = errors.New("mk: ipc call timed out")
+
+// regMsgBytes is the payload size that fits in registers (seL4 fastpath
+// condition: "the IPC message fits in CPU registers").
+const regMsgBytes = 32
+
+// Msg is an IPC message: a register part plus an optional memory payload
+// located in the *sender's* address space at Buf. Payload bytes really move
+// through simulated memory, so corruption bugs are observable.
+type Msg struct {
+	Regs [4]uint64
+	Buf  hw.VA
+	Len  int
+}
+
+// Endpoint is a synchronous IPC endpoint with server threads that park in
+// Recv and clients that Call.
+type Endpoint struct {
+	Name string
+	k    *Kernel
+
+	recvQ   sim.WaitQueue
+	pending []*callCtx
+	closed  bool
+
+	// kbuf is the kernel-side transfer buffer for long messages.
+	kbufVA  hw.VA
+	kbufLen int
+	// winVA is the endpoint's receiver-side temporary-mapping window.
+	winVA hw.VA
+
+	// Calls counts client invocations.
+	Calls uint64
+}
+
+// callCtx tracks one in-flight call. The call and reply legs are
+// independently fast or slow, as in seL4 (a register-sized request can
+// receive a long reply via the slow reply path).
+type callCtx struct {
+	req       Msg
+	reply     Msg
+	client    *sim.Thread
+	clientP   *Process
+	serverP   *Process // set at reply time (temporary-mapping reply leg)
+	replyBuf  hw.VA
+	fastCall  bool
+	crossCall bool
+	fastReply bool
+	crossRep  bool
+	timedOut  bool
+	done      bool
+	err       error
+
+	// reqInline/repInline carry register-sized payloads (<= regMsgBytes),
+	// which travel in CPU registers rather than through the kernel buffer.
+	reqInline []byte
+	repInline []byte
+	// reqStage/repStage hold copied payloads while in flight. The cache
+	// traffic of the kernel transfer buffer is charged via copyIn/copyOut;
+	// the bytes are staged per message (as a real kernel's per-message
+	// buffers would) so concurrent in-flight messages cannot alias.
+	reqStage []byte
+	repStage []byte
+}
+
+// NewEndpoint creates an endpoint on the kernel.
+func (k *Kernel) NewEndpoint(name string) *Endpoint {
+	ep := &Endpoint{Name: name, k: k, kbufLen: hw.PageSize}
+	ep.kbufVA = k.allocKernelPage()
+	// Each endpoint gets its own temporary-mapping window (16 pages).
+	ep.winVA = tempWindowVA + hw.VA(len(k.endpoints)*16*hw.PageSize)
+	k.endpoints = append(k.endpoints, ep)
+	return ep
+}
+
+// Close shuts the endpoint down: parked servers wake with nil and exit
+// their serve loops.
+func (ep *Endpoint) Close() {
+	ep.closed = true
+	for ep.recvQ.Len() > 0 {
+		ep.recvQ.WakeOne(ep.k.Eng, 0, nil)
+	}
+}
+
+// takeWaiter removes and returns a parked server thread, preferring one on
+// the given core; anyOK allows falling back to any core.
+func (ep *Endpoint) takeWaiter(coreID int, anyOK bool) *sim.Thread {
+	if th := ep.recvQ.TakeWhere(func(t *sim.Thread) bool { return t.Core.ID == coreID }); th != nil {
+		return th
+	}
+	if anyOK {
+		return ep.recvQ.TakeWhere(func(t *sim.Thread) bool { return true })
+	}
+	return nil
+}
+
+// copyIn moves a payload from the current address space through the kernel
+// transfer buffer, charging the copy, and returns the staged bytes. Chunks
+// beyond the buffer wrap (the real kernel loops the same way).
+func (ep *Endpoint) copyIn(cpu *hw.CPU, buf hw.VA, n int) []byte {
+	k := ep.k
+	cpu.Tick(k.prof.copySetup)
+	staged := make([]byte, n)
+	for off := 0; off < n; off += ep.kbufLen {
+		chunk := min(ep.kbufLen, n-off)
+		if err := cpu.ReadData(buf+hw.VA(off), staged[off:off+chunk], chunk); err != nil {
+			panic(fmt.Sprintf("mk: ipc copyIn: %v", err))
+		}
+		prevMode := cpu.Mode
+		cpu.Mode = hw.ModeKernel
+		if err := cpu.WriteData(ep.kbufVA, staged[off:off+chunk], chunk); err != nil {
+			panic(fmt.Sprintf("mk: ipc copyIn kbuf: %v", err))
+		}
+		cpu.Mode = prevMode
+	}
+	return staged
+}
+
+// copyOut moves staged payload bytes through the kernel transfer buffer
+// into the current address space, charging the copy.
+func (ep *Endpoint) copyOut(cpu *hw.CPU, buf hw.VA, staged []byte) {
+	k := ep.k
+	n := len(staged)
+	cpu.Tick(k.prof.copySetup)
+	for off := 0; off < n; off += ep.kbufLen {
+		chunk := min(ep.kbufLen, n-off)
+		prevMode := cpu.Mode
+		cpu.Mode = hw.ModeKernel
+		if err := cpu.ReadData(ep.kbufVA, nil, chunk); err != nil {
+			panic(fmt.Sprintf("mk: ipc copyOut kbuf: %v", err))
+		}
+		cpu.Mode = prevMode
+		if err := cpu.WriteData(buf+hw.VA(off), staged[off:off+chunk], chunk); err != nil {
+			panic(fmt.Sprintf("mk: ipc copyOut: %v", err))
+		}
+	}
+}
+
+// needsCopy reports whether a payload of n bytes is copied through the
+// kernel for this flavor (Zircon copies any payload; fastpath kernels copy
+// only what does not fit in registers).
+func (k *Kernel) needsCopy(n int) bool {
+	if n == 0 {
+		return false
+	}
+	if k.prof.msgCopies > 0 {
+		return true
+	}
+	return n > regMsgBytes
+}
+
+// Call performs a synchronous IPC call: send req, block, receive the reply.
+// A reply payload is deposited at replyBuf in the caller's address space.
+func (e *Env) Call(ep *Endpoint, req Msg, replyBuf hw.VA) (Msg, error) {
+	return e.callInternal(ep, req, replyBuf, 0)
+}
+
+// CallTimeout is Call with a cycle deadline: if the server has not replied
+// within timeout cycles, the call aborts with ErrTimeout (§7's defense
+// against servers that never return).
+func (e *Env) CallTimeout(ep *Endpoint, req Msg, replyBuf hw.VA, timeout uint64) (Msg, error) {
+	return e.callInternal(ep, req, replyBuf, timeout)
+}
+
+func (e *Env) callInternal(ep *Endpoint, req Msg, replyBuf hw.VA, timeout uint64) (Msg, error) {
+	k, cpu := e.K, e.T.Core
+	if !e.P.Caps[ep] {
+		return Msg{}, ErrNoCapability
+	}
+	e.T.Checkpoint()
+	// Re-establish this thread's address space: other threads may have run
+	// on the core while we were queued (their context switches are what a
+	// real kernel would perform when resuming us).
+	e.enter()
+	k.IPCCalls++
+	ep.Calls++
+
+	ctx := &callCtx{req: req, client: e.T, clientP: e.P, replyBuf: replyBuf}
+
+	// A register-sized payload is loaded into registers in user mode
+	// before the syscall.
+	if req.Len > 0 && !k.needsCopy(req.Len) {
+		ctx.reqInline = make([]byte, req.Len)
+		e.Read(req.Buf, ctx.reqInline, req.Len)
+	}
+
+	// Kernel entry.
+	k.record(cpu, CatSyscall, func() { cpu.Syscall(); cpu.Swapgs() })
+	k.record(cpu, CatCtxSw, func() { k.kptiEnter(cpu) })
+
+	fast := k.prof.hasFastpath && req.Len <= regMsgBytes && !k.needsCopy(req.Len)
+	var srv *sim.Thread
+	if fast {
+		srv = ep.takeWaiter(cpu.ID, false)
+		fast = srv != nil
+	}
+
+	if fast {
+		// seL4-style fastpath: direct switch to the server, no scheduler.
+		ctx.fastCall = true
+		k.Fastpaths++
+		k.record(cpu, CatOther, func() {
+			k.touchKernel(cpu, k.prof.fastTextBytes, k.prof.fastDataLines)
+			cpu.Tick(k.prof.fastResidual)
+		})
+		k.record(cpu, CatCtxSw, func() {
+			k.switchTo(cpu, srv.Ctx.(*Env).P)
+			k.kptiExit(cpu)
+		})
+		k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
+		k.Eng.Wake(srv, cpu.Clock, ctx)
+	} else {
+		// Slowpath: scheduler, optional copy, optional IPI.
+		k.Slowpaths++
+		k.record(cpu, CatOther, func() {
+			k.touchKernel(cpu, k.prof.slowTextBytes, k.prof.slowDataLines)
+			cpu.Tick(k.prof.slowResidual)
+		})
+		k.record(cpu, CatSched, func() { cpu.Tick(k.prof.schedCycles) })
+		if k.needsCopy(req.Len) {
+			if k.Cfg.TempMapping {
+				// Temporary mapping: no sender-side copy; snapshot the
+				// frames' content (the sender blocks, so they are stable).
+				ctx.reqStage = k.rawRead(e.P, req.Buf, req.Len)
+			} else {
+				k.record(cpu, CatCopy, func() { ctx.reqStage = ep.copyIn(cpu, req.Buf, req.Len) })
+			}
+		}
+		srv = ep.takeWaiter(cpu.ID, true)
+		switch {
+		case srv != nil && srv.Core.ID != cpu.ID:
+			ctx.crossCall = true
+			k.record(cpu, CatSched, func() { cpu.Tick(k.prof.crossExtra) })
+			k.record(cpu, CatIPI, func() { k.Mach.SendIPI(cpu.ID, srv.Core.ID) })
+			k.Eng.Wake(srv, cpu.Clock, ctx)
+		case srv != nil:
+			k.Eng.Wake(srv, cpu.Clock, ctx)
+		default:
+			ep.pending = append(ep.pending, ctx)
+		}
+	}
+
+	if timeout > 0 {
+		deadline := cpu.Clock + timeout
+		k.Eng.At(deadline, func() {
+			if !ctx.done {
+				ctx.timedOut = true
+				ctx.err = ErrTimeout
+				k.Eng.Wake(ctx.client, deadline, ctx)
+			}
+		})
+	}
+
+	// Block until the reply (or timeout) arrives.
+	got := e.T.Park().(*callCtx)
+	if got != ctx {
+		panic("mk: ipc wake context mismatch")
+	}
+
+	// Client-side return path.
+	if ctx.err != nil {
+		// Timed out: the kernel aborts the call; return to user.
+		k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
+		return Msg{}, ctx.err
+	}
+	if !ctx.fastReply {
+		if ctx.crossRep {
+			k.record(cpu, CatIPI, func() {
+				if err := cpu.Interrupt(); err != nil {
+					panic(err)
+				}
+			})
+		} else {
+			cpu.Mode = hw.ModeKernel
+		}
+		k.record(cpu, CatSched, func() { cpu.Tick(k.prof.schedCycles) })
+		k.record(cpu, CatCtxSw, func() {
+			k.switchTo(cpu, e.P)
+			k.kptiExit(cpu)
+		})
+		if k.needsCopy(ctx.reply.Len) {
+			if k.Cfg.TempMapping {
+				k.record(cpu, CatCopy, func() {
+					win, pages, err := k.tempMap(cpu, ctx.serverP, e.P, ctx.reply.Buf, ctx.reply.Len, ep.winVA)
+					if err != nil {
+						panic(err)
+					}
+					k.tempCopy(cpu, win, replyBuf, ctx.repStage)
+					k.tempUnmap(cpu, e.P, ep.winVA, pages)
+				})
+			} else {
+				k.record(cpu, CatCopy, func() { ep.copyOut(cpu, replyBuf, ctx.repStage) })
+			}
+		}
+		k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
+	} else {
+		cpu.Mode = hw.ModeUser
+	}
+	reply := ctx.reply
+	if reply.Len > 0 {
+		if ctx.repInline != nil {
+			// Register-sized reply: stored from registers in user mode.
+			e.Write(replyBuf, ctx.repInline, len(ctx.repInline))
+		}
+		reply.Buf = replyBuf
+	}
+	return reply, nil
+}
+
+// Serve runs a server loop on the endpoint: park in Recv, run handler,
+// reply, repeat (the Call/ReplyWait pattern). It returns when the endpoint
+// is closed. The handler's reply Msg.Buf (if any) must point into the
+// server's address space.
+func (k *Kernel) Serve(env *Env, ep *Endpoint, recvBuf hw.VA, handler func(env *Env, req Msg) Msg) {
+	cpu := env.T.Core
+	env.T.Ctx = env
+	for {
+		var ctx *callCtx
+		env.T.Checkpoint()
+		if len(ep.pending) > 0 {
+			ctx = ep.pending[0]
+			ep.pending = ep.pending[1:]
+		} else {
+			if ep.closed {
+				return
+			}
+			v := ep.recvQ.Wait(env.T)
+			if v == nil {
+				return
+			}
+			ctx = v.(*callCtx)
+		}
+		if ctx.timedOut {
+			continue // client is gone; drop the request
+		}
+
+		// Server-side receive path.
+		if ctx.fastCall {
+			// The client's fastpath leg already switched to this address
+			// space and returned to user mode: nothing more to charge.
+			env.T.Core.Mode = hw.ModeUser
+		} else {
+			if ctx.crossCall {
+				k.record(cpu, CatIPI, func() {
+					if err := cpu.Interrupt(); err != nil {
+						panic(err)
+					}
+				})
+			} else {
+				cpu.Mode = hw.ModeKernel
+			}
+			k.record(cpu, CatSched, func() { cpu.Tick(k.prof.schedCycles) })
+			k.record(cpu, CatCtxSw, func() {
+				k.switchTo(cpu, env.P)
+				k.kptiEnter(cpu)
+			})
+			if k.needsCopy(ctx.req.Len) {
+				if k.Cfg.TempMapping {
+					k.record(cpu, CatCopy, func() {
+						win, pages, err := k.tempMap(cpu, ctx.clientP, env.P, ctx.req.Buf, ctx.req.Len, ep.winVA)
+						if err != nil {
+							panic(err)
+						}
+						k.tempCopy(cpu, win, recvBuf, ctx.reqStage)
+						k.tempUnmap(cpu, env.P, ep.winVA, pages)
+					})
+				} else {
+					k.record(cpu, CatCopy, func() { ep.copyOut(cpu, recvBuf, ctx.reqStage) })
+				}
+			}
+			k.record(cpu, CatCtxSw, func() { k.kptiExit(cpu) })
+			k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
+		}
+
+		req := ctx.req
+		if req.Len > 0 {
+			if ctx.reqInline != nil {
+				// Register payload: store it to the receive buffer.
+				env.Write(recvBuf, ctx.reqInline, len(ctx.reqInline))
+			}
+			req.Buf = recvBuf
+		}
+		reply := handler(env, req)
+
+		// Re-enter the event queue at the handler's finish time so that
+		// earlier-timestamped events (e.g. the client's timeout) order
+		// correctly before the reply, then restore our address space in
+		// case an interleaved thread switched it.
+		env.T.Checkpoint()
+		env.enter()
+		if ctx.timedOut {
+			continue // timed out while we were handling it; drop the reply
+		}
+		ctx.reply = reply
+		if reply.Len > 0 && !k.needsCopy(reply.Len) {
+			// Register-sized reply: loaded into registers server-side.
+			ctx.repInline = make([]byte, reply.Len)
+			env.Read(reply.Buf, ctx.repInline, reply.Len)
+		}
+		ctx.serverP = env.P
+		ctx.done = true
+
+		// Reply path (ReplyWait: reply and wait combined in one syscall).
+		// The reply leg is fast or slow independently of the call leg.
+		ctx.crossRep = cpu.ID != ctx.client.Core.ID
+		ctx.fastReply = k.prof.hasFastpath && !ctx.crossRep && !k.needsCopy(reply.Len)
+
+		k.record(cpu, CatSyscall, func() { cpu.Syscall(); cpu.Swapgs() })
+		k.record(cpu, CatCtxSw, func() { k.kptiEnter(cpu) })
+		if ctx.fastReply {
+			k.record(cpu, CatOther, func() {
+				k.touchKernel(cpu, k.prof.fastTextBytes, k.prof.fastDataLines)
+				cpu.Tick(k.prof.fastResidual)
+			})
+			k.record(cpu, CatCtxSw, func() {
+				k.switchTo(cpu, ctx.clientP)
+				k.kptiExit(cpu)
+			})
+			k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
+			k.Eng.Wake(ctx.client, cpu.Clock, ctx)
+		} else {
+			k.record(cpu, CatOther, func() {
+				k.touchKernel(cpu, k.prof.slowTextBytes, k.prof.slowDataLines)
+				cpu.Tick(k.prof.slowResidual)
+			})
+			k.record(cpu, CatSched, func() { cpu.Tick(k.prof.schedCycles) })
+			if k.needsCopy(reply.Len) {
+				if k.Cfg.TempMapping {
+					ctx.repStage = k.rawRead(env.P, reply.Buf, reply.Len)
+				} else {
+					k.record(cpu, CatCopy, func() { ctx.repStage = ep.copyIn(cpu, reply.Buf, reply.Len) })
+				}
+			}
+			if ctx.crossRep {
+				k.record(cpu, CatSched, func() { cpu.Tick(k.prof.crossExtra) })
+				k.record(cpu, CatIPI, func() { k.Mach.SendIPI(cpu.ID, ctx.client.Core.ID) })
+			}
+			k.record(cpu, CatCtxSw, func() { k.kptiExit(cpu) })
+			k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
+			k.Eng.Wake(ctx.client, cpu.Clock, ctx)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package mk
+
+import (
+	"testing"
+
+	"skybridge/internal/hw"
+)
+
+func TestKMutexUncontendedIsCheap(t *testing.T) {
+	eng, k, p, _ := world(t, SeL4, false)
+	m := k.NewKMutex("m")
+	p.Spawn("t", k.Mach.Cores[0], func(env *Env) {
+		start := env.Now()
+		m.Lock(env)
+		m.Unlock(env)
+		elapsed := env.Now() - start
+		// Fast path: two user-mode atomics, no kernel entry.
+		if elapsed > 100 {
+			t.Errorf("uncontended lock/unlock cost %d cycles; fast path expected", elapsed)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Mach.IPICount != 0 {
+		t.Error("uncontended mutex sent IPIs")
+	}
+}
+
+func TestKMutexContendedHandoffChargesKernelAndIPI(t *testing.T) {
+	eng, k, p, p2 := world(t, SeL4, false)
+	m := k.NewKMutex("m")
+	p.Spawn("holder", k.Mach.Cores[0], func(env *Env) {
+		m.Lock(env)
+		// Yield periodically so the waiter's claim is processed while the
+		// lock is genuinely held (parking it in the kernel).
+		for i := 0; i < 10; i++ {
+			env.Compute(5_000)
+			env.T.Checkpoint()
+		}
+		m.Unlock(env)
+	})
+	var waiterElapsed uint64
+	p2.Spawn("waiter", k.Mach.Cores[1], func(env *Env) {
+		env.Compute(100) // arrive second
+		start := env.Now()
+		m.Lock(env)
+		waiterElapsed = env.Now() - start
+		m.Unlock(env)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Contended != 1 {
+		t.Fatalf("contended = %d, want 1", m.Contended)
+	}
+	if m.WakeIPIs != 1 || k.Mach.IPICount == 0 {
+		t.Errorf("cross-core handoff sent %d IPIs", m.WakeIPIs)
+	}
+	// The waiter's wait spans the rest of the holder's critical section
+	// plus kernel sleep/wake costs.
+	if waiterElapsed < 45_000 {
+		t.Errorf("waiter waited only %d cycles", waiterElapsed)
+	}
+	if waiterElapsed < 45_000+hw.CostIPI {
+		t.Errorf("handoff did not include the IPI cost: %d", waiterElapsed)
+	}
+}
+
+func TestKMutexMutualExclusion(t *testing.T) {
+	eng, k, _, _ := world(t, SeL4, false)
+	m := k.NewKMutex("m")
+	inside := 0
+	for i := 0; i < 4; i++ {
+		p := k.NewProcess("w")
+		p.Spawn("w", k.Mach.Cores[i%len(k.Mach.Cores)], func(env *Env) {
+			for j := 0; j < 5; j++ {
+				m.Lock(env)
+				if inside != 0 {
+					t.Error("mutual exclusion violated")
+				}
+				inside++
+				env.Compute(1000)
+				inside--
+				m.Unlock(env)
+				env.Compute(500)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Acquisitions != 20 {
+		t.Errorf("acquisitions = %d, want 20", m.Acquisitions)
+	}
+}
+
+func TestKMutexSameCoreHandoffNoIPI(t *testing.T) {
+	eng, k, p, p2 := world(t, SeL4, false)
+	m := k.NewKMutex("m")
+	core := k.Mach.Cores[0]
+	p.Spawn("a", core, func(env *Env) {
+		m.Lock(env)
+		env.T.Checkpoint() // let b queue behind us
+		env.Compute(10_000)
+		m.Unlock(env)
+	})
+	p2.Spawn("b", core, func(env *Env) {
+		env.Compute(10)
+		m.Lock(env)
+		m.Unlock(env)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.WakeIPIs != 0 {
+		t.Errorf("same-core handoff sent %d IPIs", m.WakeIPIs)
+	}
+}

@@ -1,0 +1,503 @@
+package mk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/sim"
+)
+
+// world builds a kernel with a client and a server process.
+func world(t *testing.T, flavor Flavor, kpti bool) (*sim.Engine, *Kernel, *Process, *Process) {
+	t.Helper()
+	eng := sim.NewEngine(hw.NewMachine(hw.MachineConfig{Cores: 4, MemBytes: 1 << 30}))
+	k := New(Config{Flavor: flavor, KPTI: kpti}, eng)
+	client := k.NewProcess("client")
+	server := k.NewProcess("server")
+	return eng, k, client, server
+}
+
+// echoWorld wires a server that echoes Regs[0]+1 and copies its request
+// payload back. rounds calls are made from the client; returns measured
+// round-trip cycles (total/rounds) after a warmup round.
+func runEcho(t *testing.T, flavor Flavor, sameCore bool, payload int, rounds int) (cycles uint64, k *Kernel) {
+	t.Helper()
+	eng, kern, client, server := world(t, flavor, false)
+	k = kern
+	ep := k.NewEndpoint("echo")
+	client.Grant(ep)
+
+	serverCore := k.Mach.Cores[0]
+	if !sameCore {
+		serverCore = k.Mach.Cores[1]
+	}
+	srvBuf := server.Alloc(hw.PageSize)
+	server.Spawn("srv", serverCore, func(env *Env) {
+		k.Serve(env, ep, srvBuf, func(env *Env, req Msg) Msg {
+			reply := Msg{Regs: [4]uint64{req.Regs[0] + 1}}
+			if req.Len > 0 {
+				reply.Buf = srvBuf // echo back what we received
+				reply.Len = req.Len
+			}
+			return reply
+		})
+	})
+
+	var measured uint64
+	cliBuf := client.Alloc(hw.PageSize)
+	cliReply := client.Alloc(hw.PageSize)
+	client.Spawn("cli", k.Mach.Cores[0], func(env *Env) {
+		req := Msg{Regs: [4]uint64{7}}
+		if payload > 0 {
+			req.Buf, req.Len = cliBuf, payload
+		}
+		// Warmup.
+		for i := 0; i < 16; i++ {
+			if _, err := env.Call(ep, req, cliReply); err != nil {
+				t.Errorf("warmup call: %v", err)
+				break
+			}
+		}
+		start := env.Now()
+		for i := 0; i < rounds; i++ {
+			reply, err := env.Call(ep, req, cliReply)
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if reply.Regs[0] != 8 {
+				t.Errorf("reply reg = %d, want 8", reply.Regs[0])
+				return
+			}
+		}
+		measured = (env.Now() - start) / uint64(rounds)
+		ep.Close()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return measured, k
+}
+
+func TestIPCEchoRegisterMessage(t *testing.T) {
+	cycles, k := runEcho(t, SeL4, true, 0, 100)
+	if k.Fastpaths == 0 {
+		t.Fatal("no fastpaths taken for register-sized same-core IPC")
+	}
+	// Warm seL4 fastpath round-trip should be near the paper's 986 cycles.
+	if cycles < 800 || cycles > 1200 {
+		t.Fatalf("seL4 same-core roundtrip = %d cycles, want ~986", cycles)
+	}
+}
+
+func TestIPCFlavorOrdering(t *testing.T) {
+	sel4, _ := runEcho(t, SeL4, true, 0, 100)
+	fiasco, _ := runEcho(t, Fiasco, true, 0, 100)
+	zircon, _ := runEcho(t, Zircon, true, 0, 100)
+	if !(sel4 < fiasco && fiasco < zircon) {
+		t.Fatalf("flavor ordering violated: seL4 %d, Fiasco %d, Zircon %d", sel4, fiasco, zircon)
+	}
+}
+
+func TestIPCCrossCoreUsesIPI(t *testing.T) {
+	same, _ := runEcho(t, SeL4, true, 0, 50)
+	cross, k := runEcho(t, SeL4, false, 0, 50)
+	if k.Mach.IPICount == 0 {
+		t.Fatal("cross-core IPC sent no IPIs")
+	}
+	if cross < same+2*hw.CostIPI {
+		t.Fatalf("cross-core (%d) not dominated by 2 IPIs over same-core (%d)", cross, same)
+	}
+}
+
+func TestIPCPayloadRoundTrip(t *testing.T) {
+	// Byte-accurate payload transfer through simulated memory.
+	eng, k, client, server := world(t, SeL4, false)
+	ep := k.NewEndpoint("data")
+	client.Grant(ep)
+
+	srvBuf := server.Alloc(hw.PageSize)
+	server.Spawn("srv", k.Mach.Cores[0], func(env *Env) {
+		k.Serve(env, ep, srvBuf, func(env *Env, req Msg) Msg {
+			// Increment every payload byte.
+			data := make([]byte, req.Len)
+			env.Read(req.Buf, data, req.Len)
+			for i := range data {
+				data[i]++
+			}
+			env.Write(srvBuf, data, len(data))
+			return Msg{Buf: srvBuf, Len: req.Len}
+		})
+	})
+
+	cliBuf := client.Alloc(hw.PageSize)
+	cliReply := client.Alloc(hw.PageSize)
+	payload := []byte("abcdefghijklmnopqrstuvwxyz0123456789-this-exceeds-registers")
+	client.Spawn("cli", k.Mach.Cores[0], func(env *Env) {
+		env.Write(cliBuf, payload, len(payload))
+		reply, err := env.Call(ep, Msg{Buf: cliBuf, Len: len(payload)}, cliReply)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if reply.Len != len(payload) {
+			t.Errorf("reply len %d, want %d", reply.Len, len(payload))
+		}
+		got := make([]byte, reply.Len)
+		env.Read(cliReply, got, reply.Len)
+		want := make([]byte, len(payload))
+		for i := range payload {
+			want[i] = payload[i] + 1
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("payload corrupted: %q", got)
+		}
+		ep.Close()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPCCapabilityEnforced(t *testing.T) {
+	eng, k, client, server := world(t, SeL4, false)
+	ep := k.NewEndpoint("guarded")
+	// Deliberately do NOT grant the client a capability.
+	srvBuf := server.Alloc(hw.PageSize)
+	server.Spawn("srv", k.Mach.Cores[0], func(env *Env) {
+		k.Serve(env, ep, srvBuf, func(env *Env, req Msg) Msg { return Msg{} })
+	})
+	client.Spawn("cli", k.Mach.Cores[1], func(env *Env) {
+		_, err := env.Call(ep, Msg{}, 0)
+		if !errors.Is(err, ErrNoCapability) {
+			t.Errorf("expected ErrNoCapability, got %v", err)
+		}
+		ep.Close()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPCTimeout(t *testing.T) {
+	eng, k, client, server := world(t, SeL4, false)
+	ep := k.NewEndpoint("slow")
+	client.Grant(ep)
+	srvBuf := server.Alloc(hw.PageSize)
+	server.Spawn("srv", k.Mach.Cores[1], func(env *Env) {
+		k.Serve(env, ep, srvBuf, func(env *Env, req Msg) Msg {
+			env.Compute(10_000_000) // deliberately exceeds the timeout
+			return Msg{}
+		})
+	})
+	client.Spawn("cli", k.Mach.Cores[0], func(env *Env) {
+		_, err := env.CallTimeout(ep, Msg{}, 0, 100_000)
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("expected ErrTimeout, got %v", err)
+		}
+		ep.Close()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKPTIAddsAddressSpaceSwitches(t *testing.T) {
+	run := func(kpti bool) uint64 {
+		eng, k, client, server := world(t, SeL4, kpti)
+		ep := k.NewEndpoint("e")
+		client.Grant(ep)
+		srvBuf := server.Alloc(hw.PageSize)
+		server.Spawn("srv", k.Mach.Cores[0], func(env *Env) {
+			k.Serve(env, ep, srvBuf, func(env *Env, req Msg) Msg { return Msg{} })
+		})
+		var cycles uint64
+		client.Spawn("cli", k.Mach.Cores[0], func(env *Env) {
+			for i := 0; i < 8; i++ {
+				env.Call(ep, Msg{}, 0)
+			}
+			start := env.Now()
+			for i := 0; i < 50; i++ {
+				env.Call(ep, Msg{}, 0)
+			}
+			cycles = (env.Now() - start) / 50
+			ep.Close()
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cycles
+	}
+	base, kpti := run(false), run(true)
+	// KPTI adds two CR3 writes per kernel crossing; a fastpath round trip
+	// has four crossings (client in/out, server in/out), but entry+exit
+	// pair per leg: 2 legs x 2 switches = 4 x 186 = 744 extra.
+	delta := kpti - base
+	if delta < 600 || delta > 900 {
+		t.Fatalf("KPTI delta = %d cycles, want ~744", delta)
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	eng, k, client, server := world(t, SeL4, false)
+	ep := k.NewEndpoint("e")
+	client.Grant(ep)
+	srvBuf := server.Alloc(hw.PageSize)
+	server.Spawn("srv", k.Mach.Cores[0], func(env *Env) {
+		k.Serve(env, ep, srvBuf, func(env *Env, req Msg) Msg { return Msg{} })
+	})
+	client.Spawn("cli", k.Mach.Cores[0], func(env *Env) {
+		for i := 0; i < 8; i++ {
+			env.Call(ep, Msg{}, 0)
+		}
+		k.BD = NewBreakdown()
+		for i := 0; i < 20; i++ {
+			env.Call(ep, Msg{}, 0)
+			k.BD.Rounds++
+		}
+		ep.Close()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	per := k.BD.PerRound()
+	if per[CatSyscall] < 400 || per[CatSyscall] > 500 {
+		t.Errorf("syscall component %.0f, want ~436 (2x(82+52+75))", per[CatSyscall])
+	}
+	if per[CatCtxSw] < 350 || per[CatCtxSw] > 400 {
+		t.Errorf("context switch component %.0f, want ~372 (2x186)", per[CatCtxSw])
+	}
+	if per[CatIPI] != 0 {
+		t.Errorf("same-core fastpath charged IPI cycles: %.0f", per[CatIPI])
+	}
+}
+
+func TestProcessIsolation(t *testing.T) {
+	// Two processes write different values at the same VA; each reads its
+	// own back.
+	eng, k, p1, p2 := world(t, SeL4, false)
+	done := 0
+	for i, p := range []*Process{p1, p2} {
+		i, p := i, p
+		va := p.Alloc(hw.PageSize)
+		p.Spawn("w", k.Mach.Cores[i], func(env *Env) {
+			val := []byte{byte(0xA0 + i)}
+			env.Write(va, val, 1)
+			env.Compute(1000)
+			var got [1]byte
+			env.Read(va, got[:], 1)
+			if got[0] != byte(0xA0+i) {
+				t.Errorf("process %d read %#x", i, got[0])
+			}
+			done++
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2 {
+		t.Fatal("not all writers ran")
+	}
+}
+
+func TestMultiThreadedServer(t *testing.T) {
+	// MT-Server configuration: one server thread per core; clients on each
+	// core hit their local server thread via the fastpath.
+	eng, k, client, server := world(t, SeL4, false)
+	ep := k.NewEndpoint("mt")
+	client.Grant(ep)
+	cores := 4
+	for c := 0; c < cores; c++ {
+		buf := server.Alloc(hw.PageSize)
+		server.Spawn("srv", k.Mach.Cores[c], func(env *Env) {
+			k.Serve(env, ep, buf, func(env *Env, req Msg) Msg {
+				return Msg{Regs: [4]uint64{req.Regs[0] * 2}}
+			})
+		})
+	}
+	doneCount := 0
+	for c := 0; c < cores; c++ {
+		client.Spawn("cli", k.Mach.Cores[c], func(env *Env) {
+			for i := 0; i < 50; i++ {
+				reply, err := env.Call(ep, Msg{Regs: [4]uint64{21}}, 0)
+				if err != nil || reply.Regs[0] != 42 {
+					t.Errorf("mt call: %v %v", reply, err)
+					return
+				}
+			}
+			doneCount++
+			if doneCount == cores {
+				ep.Close()
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Mach.IPICount > 10 {
+		t.Errorf("MT configuration sent %d IPIs; local fastpath expected", k.Mach.IPICount)
+	}
+}
+
+func TestAllocZeroedAndDistinct(t *testing.T) {
+	eng, k, p, _ := world(t, SeL4, false)
+	a := p.Alloc(hw.PageSize)
+	b := p.Alloc(hw.PageSize)
+	if a == b {
+		t.Fatal("allocations alias")
+	}
+	p.Spawn("t", k.Mach.Cores[0], func(env *Env) {
+		var buf [8]byte
+		env.Read(a, buf[:], 8)
+		for _, v := range buf {
+			if v != 0 {
+				t.Error("fresh allocation not zeroed")
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapCodeRoundTrip(t *testing.T) {
+	_, _, p, _ := world(t, SeL4, false)
+	code := []byte{0x90, 0x0f, 0x01, 0xd4, 0xc3}
+	p.MapCode(code)
+	got := p.ReadCode()
+	if !bytes.Equal(got, code) {
+		t.Fatalf("code %x, want %x", got, code)
+	}
+	code[1] = 0x90
+	p.WriteCode(code)
+	if !bytes.Equal(p.ReadCode(), code) {
+		t.Fatal("WriteCode not visible")
+	}
+}
+
+// TestIPCConcurrentPayloadsDoNotAlias is a regression test: two clients
+// with in-flight payloads on the same endpoint (server busy, one request
+// queued) must not corrupt each other through the kernel transfer buffer.
+func TestIPCConcurrentPayloadsDoNotAlias(t *testing.T) {
+	eng, k, _, server := world(t, Zircon, false) // Zircon copies every payload
+	c1 := k.NewProcess("c1")
+	c2 := k.NewProcess("c2")
+	ep := k.NewEndpoint("e")
+	c1.Grant(ep)
+	c2.Grant(ep)
+
+	srvBuf := server.Alloc(hw.PageSize)
+	served := 0
+	server.Spawn("srv", k.Mach.Cores[0], func(env *Env) {
+		k.Serve(env, ep, srvBuf, func(env *Env, req Msg) Msg {
+			env.Compute(50_000) // stay busy so the second request queues
+			data := make([]byte, req.Len)
+			env.Read(req.Buf, data, req.Len)
+			env.Write(srvBuf, data, len(data))
+			served++
+			if served == 2 {
+				k.Eng.At(env.Now()+1, func() { ep.Close() })
+			}
+			return Msg{Buf: srvBuf, Len: req.Len}
+		})
+	})
+
+	mkClient := func(p *Process, core int, fill byte) {
+		buf := p.Alloc(hw.PageSize)
+		reply := p.Alloc(hw.PageSize)
+		p.Spawn("cli", k.Mach.Cores[core], func(env *Env) {
+			payload := bytes.Repeat([]byte{fill}, 300)
+			env.Write(buf, payload, len(payload))
+			resp, err := env.Call(ep, Msg{Buf: buf, Len: len(payload)}, reply)
+			if err != nil {
+				t.Errorf("client %x: %v", fill, err)
+				return
+			}
+			got := make([]byte, resp.Len)
+			env.Read(reply, got, resp.Len)
+			for _, b := range got {
+				if b != fill {
+					t.Errorf("client %x payload corrupted to %x (kernel buffer aliasing)", fill, b)
+					return
+				}
+			}
+		})
+	}
+	mkClient(c1, 1, 0xAA)
+	mkClient(c2, 2, 0xBB)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTempMappingCorrectAndCheaper: L4's temporary-mapping option (§8.1)
+// transfers long payloads byte-correct with one copy instead of two, and
+// is measurably cheaper for large messages.
+func TestTempMappingCorrectAndCheaper(t *testing.T) {
+	run := func(tempMap bool, payload int) (uint64, bool) {
+		eng := sim.NewEngine(hw.NewMachine(hw.MachineConfig{Cores: 4, MemBytes: 1 << 30}))
+		k := New(Config{Flavor: SeL4, TempMapping: tempMap}, eng)
+		client := k.NewProcess("client")
+		server := k.NewProcess("server")
+		ep := k.NewEndpoint("e")
+		client.Grant(ep)
+		srvBuf := server.Alloc(4 * hw.PageSize)
+		server.Spawn("srv", k.Mach.Cores[0], func(env *Env) {
+			k.Serve(env, ep, srvBuf, func(env *Env, req Msg) Msg {
+				data := make([]byte, req.Len)
+				env.Read(req.Buf, data, req.Len)
+				for i := range data {
+					data[i] ^= 0x5A
+				}
+				env.Write(srvBuf, data, len(data))
+				return Msg{Buf: srvBuf, Len: req.Len}
+			})
+		})
+		var cycles uint64
+		ok := true
+		cliBuf := client.Alloc(4 * hw.PageSize)
+		cliReply := client.Alloc(4 * hw.PageSize)
+		client.Spawn("cli", k.Mach.Cores[0], func(env *Env) {
+			payloadBytes := bytes.Repeat([]byte{0x33}, payload)
+			env.Write(cliBuf, payloadBytes, payload)
+			for i := 0; i < 8; i++ { // warm
+				env.Call(ep, Msg{Buf: cliBuf, Len: payload}, cliReply)
+			}
+			start := env.Now()
+			const rounds = 32
+			for i := 0; i < rounds; i++ {
+				reply, err := env.Call(ep, Msg{Buf: cliBuf, Len: payload}, cliReply)
+				if err != nil || reply.Len != payload {
+					ok = false
+					return
+				}
+			}
+			cycles = (env.Now() - start) / rounds
+			got := make([]byte, payload)
+			env.Read(cliReply, got, payload)
+			for _, b := range got {
+				if b != 0x33^0x5A {
+					ok = false
+					return
+				}
+			}
+			ep.Close()
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cycles, ok
+	}
+	for _, payload := range []int{4096, 12288} {
+		twoCopy, ok1 := run(false, payload)
+		tempMap, ok2 := run(true, payload)
+		if !ok1 || !ok2 {
+			t.Fatalf("payload %d: correctness failed (2copy=%v tempmap=%v)", payload, ok1, ok2)
+		}
+		if tempMap >= twoCopy {
+			t.Errorf("payload %d: temp mapping (%d cycles) not cheaper than two copies (%d)", payload, tempMap, twoCopy)
+		}
+	}
+}

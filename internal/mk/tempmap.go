@@ -1,0 +1,71 @@
+package mk
+
+import (
+	"fmt"
+
+	"skybridge/internal/hw"
+)
+
+// This file implements L4's "temporary mapping" optimization for long IPC
+// (paper §8.1: "L4 proposes a technique called temporary mapping, which
+// temporarily maps the caller's buffer into the callee's address space and
+// avoids one costly message copying. This technique is orthogonal to
+// SkyBridge"). With Config.TempMapping enabled, a long message is not
+// copied twice through the kernel buffer; instead the kernel maps the
+// sender's buffer frames into a per-endpoint window in the receiver's
+// address space and the receiver-side kernel copies directly from the
+// window — one copy instead of two.
+
+// tempWindowVA is the kernel-chosen receiver-side window base for
+// temporarily mapped sender buffers (one window per endpoint).
+const tempWindowVA hw.VA = 0x7f00_0000_0000
+
+// costPTEWrite is the kernel cost of installing or tearing down one
+// temporary PTE (entry write + bookkeeping).
+const costPTEWrite = 40
+
+// tempMap maps the page span [buf, buf+n) of srcProc into dstProc at the
+// endpoint's window and returns the window VA of buf plus the page count.
+// The kernel charges one PTE write per page; teardown additionally flushes
+// the window's TLB entries.
+func (k *Kernel) tempMap(cpu *hw.CPU, srcProc, dstProc *Process, buf hw.VA, n int, window hw.VA) (hw.VA, int, error) {
+	first := buf.PageBase()
+	last := (buf + hw.VA(n) - 1).PageBase()
+	pages := int((last-first)/hw.PageSize) + 1
+	for i := 0; i < pages; i++ {
+		gpa, _, ok := srcProc.PT.Walk(first + hw.VA(i*hw.PageSize))
+		if !ok {
+			return 0, 0, fmt.Errorf("mk: temp map: sender page %#x unmapped", uint64(first)+uint64(i*hw.PageSize))
+		}
+		if err := dstProc.PT.Map(window+hw.VA(i*hw.PageSize), gpa.PageBase(), hw.PTEWrite); err != nil {
+			return 0, 0, err
+		}
+		cpu.Tick(costPTEWrite)
+	}
+	return window + hw.VA(buf.PageOff()), pages, nil
+}
+
+// tempUnmap tears the window down.
+func (k *Kernel) tempUnmap(cpu *hw.CPU, dstProc *Process, window hw.VA, pages int) {
+	for i := 0; i < pages; i++ {
+		dstProc.PT.Unmap(window + hw.VA(i*hw.PageSize))
+		cpu.Tick(costPTEWrite)
+	}
+	// The window's stale translations must not survive; flush the tagged
+	// entries (INVLPG per page, modeled as a tag flush).
+	cpu.DTLB.FlushTag(hw.TLBTag{VPID: cpu.VPID, PCID: dstProc.PCID})
+}
+
+// tempCopy performs the single receiver-side copy from the mapped window,
+// charging reads of the window and writes of the destination buffer.
+func (k *Kernel) tempCopy(cpu *hw.CPU, src hw.VA, dst hw.VA, staged []byte) {
+	prevMode := cpu.Mode
+	cpu.Mode = hw.ModeKernel
+	if err := cpu.ReadData(src, nil, len(staged)); err != nil {
+		panic(fmt.Sprintf("mk: temp copy read: %v", err))
+	}
+	if err := cpu.WriteData(dst, staged, len(staged)); err != nil {
+		panic(fmt.Sprintf("mk: temp copy write: %v", err))
+	}
+	cpu.Mode = prevMode
+}

@@ -1,0 +1,82 @@
+package rewrite
+
+import (
+	"math/rand"
+
+	"skybridge/internal/isa"
+)
+
+// RandomProgram generates a straight-line program of at least size bytes of
+// valid instructions, terminated by HLT. Programs are register-and-memory
+// workloads confined to the data region [dataBase, dataBase+dataLen), so
+// they can be executed by the interpreter before and after rewriting. The
+// generator is used to build the Table 6 scanning corpus (the stand-in for
+// SPEC/PARSEC/nginx/... binaries, which we cannot ship).
+func RandomProgram(rng *rand.Rand, size int, dataBase uint64, dataLen int) []byte {
+	var a isa.Asm
+	aluOps := []isa.Op{isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.CMP}
+
+	// Immediates follow a real-code-like distribution: overwhelmingly
+	// small constants, occasionally medium, rarely arbitrary. (Uniform
+	// random immediates would contain the 3-byte VMFUNC pattern orders of
+	// magnitude more often than compiled binaries do, distorting the
+	// Table 6 occurrence rate.)
+	imm32 := func() int32 {
+		switch rng.Intn(10) {
+		case 0:
+			return int32(rng.Uint32()) // arbitrary
+		case 1, 2:
+			return int32(rng.Intn(1 << 16))
+		default:
+			return int32(rng.Intn(4096))
+		}
+	}
+	imm64 := func() int64 {
+		if rng.Intn(10) == 0 {
+			return int64(rng.Uint64())
+		}
+		return int64(imm32())
+	}
+	// Registers used freely (avoiding RSP/RBP so the stack stays intact).
+	regs := []isa.Reg{isa.RAX, isa.RBX, isa.RCX, isa.RDX, isa.RSI, isa.RDI,
+		isa.R8, isa.R9, isa.R10, isa.R11, isa.R12, isa.R13, isa.R14, isa.R15}
+	reg := func() isa.Reg { return regs[rng.Intn(len(regs))] }
+
+	// dataPtr returns a memory operand guaranteed to land inside the data
+	// region: an absolute-base operand with a bounded displacement.
+	dataPtr := func() isa.Mem {
+		off := int32(rng.Intn(dataLen-8) &^ 7)
+		return isa.Mem{Base: isa.NoReg, Index: isa.NoReg, Scale: 1, Disp: int32(dataBase) + off}
+	}
+
+	for a.Len() < size {
+		switch rng.Intn(12) {
+		case 0:
+			a.MovRR(reg(), reg())
+		case 1:
+			a.MovRI32(reg(), imm32())
+		case 2:
+			a.MovRI64(reg(), imm64())
+		case 3:
+			a.AluRR(aluOps[rng.Intn(len(aluOps))], reg(), reg())
+		case 4:
+			a.AluRI(aluOps[rng.Intn(len(aluOps))], reg(), imm32())
+		case 5:
+			a.Lea(reg(), isa.Mem{Base: reg(), Index: isa.NoReg, Scale: 1, Disp: imm32()})
+		case 6:
+			a.Imul3(reg(), reg(), imm32())
+		case 7:
+			a.MovRM(reg(), dataPtr())
+		case 8:
+			a.MovMR(dataPtr(), reg())
+		case 9:
+			a.Nop()
+		case 10:
+			a.AluRM(aluOps[rng.Intn(len(aluOps))], reg(), dataPtr())
+		case 11:
+			a.Imul2(reg(), reg())
+		}
+	}
+	a.Hlt()
+	return a.Bytes()
+}

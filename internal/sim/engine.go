@@ -1,0 +1,198 @@
+// Package sim is a deterministic discrete-event execution engine for
+// simulated threads running on the cores of a hw.Machine.
+//
+// Each simulated thread is a goroutine, but exactly one runs at a time: the
+// engine resumes the thread whose pending event has the lowest timestamp,
+// the thread executes until it parks (blocks) or checkpoints, and control
+// returns to the engine. A thread bound to core C advances C's cycle clock
+// as it executes hardware operations; when a thread is resumed by an event
+// with timestamp t, its start time is max(t, C.Clock), which serializes
+// threads sharing a core without any explicit core scheduler.
+//
+// Interaction points (locks, IPC endpoints) call Checkpoint first, so
+// shared resources are claimed in global time order and runs are fully
+// deterministic (ties broken by event sequence number).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"skybridge/internal/hw"
+)
+
+// event is a scheduled occurrence: either resuming a parked thread or
+// running a closure on the engine goroutine.
+type event struct {
+	t   uint64
+	seq uint64
+
+	thread *Thread
+	val    any
+	fn     func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// ThreadState tracks where a thread is in its lifecycle.
+type ThreadState int
+
+// Thread states.
+const (
+	StateReady ThreadState = iota
+	StateRunning
+	StateParked
+	StateFinished
+)
+
+// Thread is one simulated thread of execution, pinned to a core.
+type Thread struct {
+	Name string
+	Core *hw.CPU
+	// Ctx lets higher layers (the microkernel) attach per-thread state.
+	Ctx any
+
+	eng    *Engine
+	resume chan any
+	state  ThreadState
+}
+
+// Engine owns the event queue and the machine.
+type Engine struct {
+	Mach *hw.Machine
+
+	events  eventHeap
+	seq     uint64
+	yieldCh chan struct{}
+	threads []*Thread
+	// Deterministic failure of Run when all threads are parked.
+	err error
+}
+
+// NewEngine creates an engine over the machine.
+func NewEngine(m *hw.Machine) *Engine {
+	return &Engine{Mach: m, yieldCh: make(chan struct{})}
+}
+
+func (e *Engine) push(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+// Go creates a thread on the given core and schedules its first run at the
+// core's current time. The body runs when Run is called.
+func (e *Engine) Go(name string, core *hw.CPU, body func(t *Thread)) *Thread {
+	th := &Thread{Name: name, Core: core, eng: e, resume: make(chan any), state: StateParked}
+	e.threads = append(e.threads, th)
+	go func() {
+		<-th.resume
+		th.state = StateRunning
+		body(th)
+		th.state = StateFinished
+		e.yieldCh <- struct{}{}
+	}()
+	e.push(&event{t: core.Clock, thread: th})
+	return th
+}
+
+// At schedules fn to run on the engine goroutine at time t. fn must not
+// block; it may wake parked threads.
+func (e *Engine) At(t uint64, fn func()) {
+	e.push(&event{t: t, fn: fn})
+}
+
+// Wake schedules a parked thread to resume at time at, delivering val as
+// the return value of its Park call. Waking a non-parked thread is an
+// engine-usage bug detected at delivery time (the event is dropped with an
+// error recorded if the thread has finished, ignored if it is running ---
+// the caller must own the thread's lifecycle).
+func (e *Engine) Wake(t *Thread, at uint64, val any) {
+	e.push(&event{t: at, thread: t, val: val})
+}
+
+// Run processes events until none remain. It returns an error if threads
+// are still parked when the queue drains (deadlock) or if one was woken in
+// an invalid state.
+func (e *Engine) Run() error {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		th := ev.thread
+		switch th.state {
+		case StateFinished:
+			continue // stale wake (e.g. expired timeout)
+		case StateRunning:
+			return fmt.Errorf("sim: wake of running thread %q", th.Name)
+		}
+		// Serialize threads sharing a core: never start before the core's
+		// clock.
+		if ev.t > th.Core.Clock {
+			th.Core.Clock = ev.t
+		}
+		th.state = StateRunning
+		th.resume <- ev.val
+		<-e.yieldCh
+	}
+	if e.err != nil {
+		return e.err
+	}
+	var stuck []string
+	for _, th := range e.threads {
+		if th.state == StateParked {
+			stuck = append(stuck, th.Name)
+		}
+	}
+	if len(stuck) > 0 {
+		return fmt.Errorf("sim: deadlock: threads still parked: %v", stuck)
+	}
+	return nil
+}
+
+// Now returns the thread's current time (its core's cycle clock).
+func (t *Thread) Now() uint64 { return t.Core.Clock }
+
+// Park blocks the thread until another thread or closure wakes it. It
+// returns the value passed to Wake.
+func (t *Thread) Park() any {
+	t.state = StateParked
+	t.eng.yieldCh <- struct{}{}
+	v := <-t.resume
+	t.state = StateRunning
+	return v
+}
+
+// Checkpoint re-enters the thread into the event queue at its current time
+// and parks, letting any earlier-timestamped thread run first. Interaction
+// primitives call this before touching shared state so resources are
+// claimed in global time order.
+func (t *Thread) Checkpoint() {
+	t.eng.Wake(t, t.Core.Clock, nil)
+	t.Park()
+}
+
+// Engine returns the engine this thread belongs to.
+func (t *Thread) Engine() *Engine { return t.eng }
+
+// State reports the thread's lifecycle state.
+func (t *Thread) State() ThreadState { return t.state }

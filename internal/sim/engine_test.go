@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"testing"
+
+	"skybridge/internal/hw"
+)
+
+func newEngine(cores int) *Engine {
+	return NewEngine(hw.NewMachine(hw.MachineConfig{Cores: cores, MemBytes: 1 << 24}))
+}
+
+func TestEngineRunsSingleThread(t *testing.T) {
+	e := newEngine(1)
+	ran := false
+	e.Go("t0", e.Mach.Cores[0], func(th *Thread) {
+		th.Core.Tick(100)
+		ran = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("thread body did not run")
+	}
+	if e.Mach.Cores[0].Clock != 100 {
+		t.Fatalf("core clock %d, want 100", e.Mach.Cores[0].Clock)
+	}
+}
+
+func TestEngineParallelCoresOverlapInTime(t *testing.T) {
+	e := newEngine(2)
+	e.Go("a", e.Mach.Cores[0], func(th *Thread) { th.Core.Tick(1000) })
+	e.Go("b", e.Mach.Cores[1], func(th *Thread) { th.Core.Tick(800) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two cores run concurrently: neither clock includes the other's work.
+	if e.Mach.Cores[0].Clock != 1000 || e.Mach.Cores[1].Clock != 800 {
+		t.Fatalf("clocks %d, %d", e.Mach.Cores[0].Clock, e.Mach.Cores[1].Clock)
+	}
+}
+
+func TestEngineSameCoreSerializes(t *testing.T) {
+	e := newEngine(1)
+	c := e.Mach.Cores[0]
+	e.Go("a", c, func(th *Thread) { th.Core.Tick(500) })
+	e.Go("b", c, func(th *Thread) { th.Core.Tick(300) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Clock != 800 {
+		t.Fatalf("shared core clock %d, want 800", c.Clock)
+	}
+}
+
+func TestEngineParkWake(t *testing.T) {
+	e := newEngine(2)
+	var waiter *Thread
+	var got any
+	waiter = e.Go("waiter", e.Mach.Cores[0], func(th *Thread) {
+		got = th.Park()
+	})
+	e.Go("waker", e.Mach.Cores[1], func(th *Thread) {
+		th.Core.Tick(250)
+		e.Wake(waiter, th.Now(), "hello")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("park returned %v", got)
+	}
+	// The waiter resumed no earlier than the waker's send time.
+	if e.Mach.Cores[0].Clock < 250 {
+		t.Fatalf("waiter resumed at %d, before wake time 250", e.Mach.Cores[0].Clock)
+	}
+}
+
+func TestEngineDeadlockDetected(t *testing.T) {
+	e := newEngine(1)
+	e.Go("stuck", e.Mach.Cores[0], func(th *Thread) { th.Park() })
+	if err := e.Run(); err == nil {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestEngineClosureEvents(t *testing.T) {
+	e := newEngine(1)
+	var order []int
+	e.At(500, func() { order = append(order, 2) })
+	e.At(100, func() { order = append(order, 1) })
+	e.Go("t", e.Mach.Cores[0], func(th *Thread) {
+		th.Core.Tick(10)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("closure order %v", order)
+	}
+}
+
+func TestEngineStaleWakeIgnored(t *testing.T) {
+	e := newEngine(1)
+	th := e.Go("t", e.Mach.Cores[0], func(th *Thread) {})
+	e.Wake(th, 1_000_000, "late") // delivered after the thread finished
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexExclusionAndTiming(t *testing.T) {
+	e := newEngine(2)
+	var m Mutex
+	var sections [][2]uint64
+	worker := func(th *Thread) {
+		m.Lock(th)
+		start := th.Now()
+		th.Core.Tick(1000)
+		end := th.Now()
+		m.Unlock(th)
+		sections = append(sections, [2]uint64{start, end})
+	}
+	e.Go("a", e.Mach.Cores[0], worker)
+	e.Go("b", e.Mach.Cores[1], worker)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 2 {
+		t.Fatalf("%d sections", len(sections))
+	}
+	// Critical sections must not overlap.
+	a, b := sections[0], sections[1]
+	if a[0] < b[1] && b[0] < a[1] {
+		t.Fatalf("critical sections overlap: %v %v", a, b)
+	}
+	if m.Contended != 1 {
+		t.Fatalf("contended = %d, want 1", m.Contended)
+	}
+	if m.WaitCycles == 0 {
+		t.Fatal("no wait cycles recorded despite contention")
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	e := newEngine(4)
+	var m Mutex
+	var order []string
+	hold := func(name string, delay uint64) func(*Thread) {
+		return func(th *Thread) {
+			th.Core.Tick(delay)
+			m.Lock(th)
+			order = append(order, name)
+			th.Core.Tick(10_000)
+			m.Unlock(th)
+		}
+	}
+	e.Go("first", e.Mach.Cores[0], hold("first", 0))
+	e.Go("second", e.Mach.Cores[1], hold("second", 100))
+	e.Go("third", e.Mach.Cores[2], hold("third", 200))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("acquisition order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
+	e := newEngine(2)
+	var m Mutex
+	e.Go("a", e.Mach.Cores[0], func(th *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("unlock by non-owner did not panic")
+			}
+		}()
+		m.Unlock(th)
+	})
+	_ = e.Run()
+}
+
+func TestWaitQueue(t *testing.T) {
+	e := newEngine(2)
+	var q WaitQueue
+	var got any
+	e.Go("w", e.Mach.Cores[0], func(th *Thread) {
+		got = q.Wait(th)
+	})
+	e.Go("s", e.Mach.Cores[1], func(th *Thread) {
+		th.Core.Tick(100)
+		// Checkpoint so the waiter is queued before we signal (global-time
+		// order: waiter enqueues at t=0, signaler at t=100).
+		th.Checkpoint()
+		if !q.WakeOne(th.Engine(), th.Now(), 42) {
+			t.Error("no waiter found")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("wait returned %v", got)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		e := newEngine(4)
+		var m Mutex
+		var times []uint64
+		for i := 0; i < 4; i++ {
+			core := e.Mach.Cores[i]
+			e.Go("t", core, func(th *Thread) {
+				for j := 0; j < 10; j++ {
+					m.Lock(th)
+					th.Core.Tick(97)
+					m.Unlock(th)
+					th.Core.Tick(13)
+				}
+				times = append(times, th.Now())
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: run1 %v run2 %v", a, b)
+		}
+	}
+}

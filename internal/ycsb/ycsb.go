@@ -1,0 +1,180 @@
+// Package ycsb implements the Yahoo! Cloud Serving Benchmark workload
+// generator used in §6.5 ("we use the YCSB workloads ... YCSB-A workload
+// consists of 50% read (query) and 50% write (update) operations. We run
+// the workload on a table with 10,000 records").
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is one generated operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+)
+
+// Workload describes an operation mix over a keyspace.
+type Workload struct {
+	Name        string
+	RecordCount int
+	FieldLength int
+	ReadProp    float64
+	UpdateProp  float64
+	InsertProp  float64
+	ScanProp    float64
+	// Zipfian selects the standard YCSB zipfian request distribution;
+	// false means uniform.
+	Zipfian bool
+}
+
+// WorkloadA is the update-heavy workload the paper reports: 50% reads,
+// 50% updates, zipfian key distribution.
+func WorkloadA(records int) Workload {
+	return Workload{
+		Name:        "YCSB-A",
+		RecordCount: records,
+		FieldLength: 100,
+		ReadProp:    0.5,
+		UpdateProp:  0.5,
+		Zipfian:     true,
+	}
+}
+
+// WorkloadB is read-heavy: 95% reads, 5% updates.
+func WorkloadB(records int) Workload {
+	return Workload{
+		Name:        "YCSB-B",
+		RecordCount: records,
+		FieldLength: 100,
+		ReadProp:    0.95,
+		UpdateProp:  0.05,
+		Zipfian:     true,
+	}
+}
+
+// WorkloadC is read-only.
+func WorkloadC(records int) Workload {
+	return Workload{
+		Name:        "YCSB-C",
+		RecordCount: records,
+		FieldLength: 100,
+		ReadProp:    1.0,
+		Zipfian:     true,
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	Key   int64
+	Value string
+}
+
+// Generator produces a deterministic operation stream for one client.
+type Generator struct {
+	w   Workload
+	rng *rand.Rand
+	zip *zipfian
+	seq int64
+}
+
+// NewGenerator builds a generator with its own seed (one per client
+// thread, so streams differ but runs are reproducible).
+func NewGenerator(w Workload, seed int64) *Generator {
+	g := &Generator{w: w, rng: rand.New(rand.NewSource(seed)), seq: int64(w.RecordCount)}
+	if w.Zipfian {
+		g.zip = newZipfian(int64(w.RecordCount), 0.99, g.rng)
+	}
+	return g
+}
+
+// key chooses the target record.
+func (g *Generator) key() int64 {
+	if g.zip != nil {
+		return g.zip.next()
+	}
+	return g.rng.Int63n(int64(g.w.RecordCount))
+}
+
+// value builds a FieldLength-byte payload.
+func (g *Generator) value() string {
+	b := make([]byte, g.w.FieldLength)
+	for i := range b {
+		b[i] = byte('a' + g.rng.Intn(26))
+	}
+	return string(b)
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	p := g.rng.Float64()
+	switch {
+	case p < g.w.ReadProp:
+		return Op{Kind: OpRead, Key: g.key()}
+	case p < g.w.ReadProp+g.w.UpdateProp:
+		return Op{Kind: OpUpdate, Key: g.key(), Value: g.value()}
+	case p < g.w.ReadProp+g.w.UpdateProp+g.w.InsertProp:
+		g.seq++
+		return Op{Kind: OpInsert, Key: g.seq, Value: g.value()}
+	default:
+		return Op{Kind: OpScan, Key: g.key()}
+	}
+}
+
+// RecordValue is the canonical initial value for record i during loading.
+func RecordValue(w Workload, i int64) string {
+	b := make([]byte, w.FieldLength)
+	for j := range b {
+		b[j] = byte('a' + (int(i)+j)%26)
+	}
+	return string(b)
+}
+
+// zipfian is the Gray et al. zipfian generator YCSB uses, over [0, n).
+type zipfian struct {
+	n               int64
+	theta           float64
+	alpha, zetan    float64
+	eta, zeta2theta float64
+	rng             *rand.Rand
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func newZipfian(n int64, theta float64, rng *rand.Rand) *zipfian {
+	if n <= 0 {
+		panic(fmt.Sprintf("ycsb: zipfian over %d items", n))
+	}
+	z := &zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zetaStatic(n, theta)
+	z.zeta2theta = zetaStatic(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func (z *zipfian) next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

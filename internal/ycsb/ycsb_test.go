@@ -1,0 +1,109 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWorkloadAMix(t *testing.T) {
+	g := NewGenerator(WorkloadA(10_000), 1)
+	reads, updates := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		switch g.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("unexpected op kind in workload A")
+		}
+	}
+	if reads < n*45/100 || reads > n*55/100 {
+		t.Fatalf("read fraction %d/%d, want ~50%%", reads, n)
+	}
+	if updates < n*45/100 {
+		t.Fatalf("update fraction %d/%d", updates, n)
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	g := NewGenerator(WorkloadA(1000), 2)
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Key < 0 || op.Key >= 1000 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := newZipfian(10_000, 0.99, rng)
+	counts := make(map[int64]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.next()]++
+	}
+	// The hottest key should receive far more than the uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := n / 10_000
+	if max < 20*uniform {
+		t.Fatalf("hottest key got %d hits; zipfian should be much more skewed than uniform (%d)", max, uniform)
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	a := NewGenerator(WorkloadA(100), 7)
+	b := NewGenerator(WorkloadA(100), 7)
+	for i := 0; i < 100; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Kind != ob.Kind || oa.Key != ob.Key || oa.Value != ob.Value {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewGenerator(WorkloadA(100), 8)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if a.Next().Key != c.Next().Key {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestWorkloadBandC(t *testing.T) {
+	gB := NewGenerator(WorkloadB(1000), 1)
+	updates := 0
+	for i := 0; i < 10000; i++ {
+		if gB.Next().Kind == OpUpdate {
+			updates++
+		}
+	}
+	if updates < 300 || updates > 800 {
+		t.Fatalf("workload B updates %d/10000, want ~5%%", updates)
+	}
+	gC := NewGenerator(WorkloadC(1000), 1)
+	for i := 0; i < 1000; i++ {
+		if gC.Next().Kind != OpRead {
+			t.Fatal("workload C generated a non-read")
+		}
+	}
+}
+
+func TestRecordValueStableLength(t *testing.T) {
+	w := WorkloadA(10)
+	for i := int64(0); i < 10; i++ {
+		if len(RecordValue(w, i)) != w.FieldLength {
+			t.Fatal("record value length wrong")
+		}
+	}
+}
