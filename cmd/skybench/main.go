@@ -6,21 +6,76 @@
 //	skybench -run all
 //	skybench -run table1,table2,fig7
 //	skybench -run fig9 -records 10000 -ops 200
+//	skybench -run table2 -trace trace.json -metrics metrics.json
 //
 // Experiments: table1 table2 table4 table5 table6 fig2 fig7 fig8 fig9
 // fig10 fig11 ablations. Paper-scale knobs: -records, -ops, -kvops,
 // -clients, -scale.
+//
+// -trace writes a Chrome trace-event JSON (open in Perfetto / chrome://
+// tracing; 1 timestamp unit = 1 simulated cycle, one track per simulated
+// core). -metrics writes every experiment's machine-readable records plus
+// per-op latency histograms.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"skybridge/internal/bench"
 	"skybridge/internal/mk"
+	"skybridge/internal/obs"
 )
+
+// experimentNames is the authoritative list of experiment selectors.
+var experimentNames = []string{
+	"table1", "table2", "table4", "table5", "table6",
+	"fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
+	"ablations",
+}
+
+// selectExperiments parses the -run list into a selection set. Unknown
+// names are an error (previously they were silently ignored when mixed
+// with valid ones). "all" expands to every experiment.
+func selectExperiments(runList string) (map[string]bool, error) {
+	known := map[string]bool{}
+	for _, n := range experimentNames {
+		known[n] = true
+	}
+	sel := map[string]bool{}
+	var unknown []string
+	for _, raw := range strings.Split(runList, ",") {
+		name := strings.TrimSpace(strings.ToLower(raw))
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for _, n := range experimentNames {
+				sel[n] = true
+			}
+			continue
+		}
+		if !known[name] {
+			unknown = append(unknown, name)
+			continue
+		}
+		sel[name] = true
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown experiment(s) %s (known: %s)",
+			strings.Join(unknown, ", "), strings.Join(experimentNames, " "))
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("no experiments selected from %q (known: %s)",
+			runList, strings.Join(experimentNames, " "))
+	}
+	return sel, nil
+}
 
 func main() {
 	var (
@@ -32,40 +87,43 @@ func main() {
 		opsKind = flag.Int("opskind", 40, "SQLite ops per kind per client (Table 4)")
 		preload = flag.Int("preload", 200, "SQLite preloaded rows per client (Table 4)")
 		scale   = flag.Int("scale", 8, "Table 6 corpus scale divisor (1 = paper scale)")
+
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON to this file")
+		metricsOut = flag.String("metrics", "", "write machine-readable experiment records (JSON) to this file")
 	)
 	flag.Parse()
 
-	want := map[string]bool{}
-	for _, name := range strings.Split(*runList, ",") {
-		want[strings.TrimSpace(strings.ToLower(name))] = true
+	sel, err := selectExperiments(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skybench:", err)
+		flag.Usage()
+		os.Exit(2)
 	}
-	all := want["all"]
-	sel := func(name string) bool { return all || want[name] }
-	ran := 0
 
-	if sel("table2") {
-		fmt.Println(bench.Table2().Render())
-		ran++
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
 	}
-	if sel("fig7") {
-		fmt.Println(bench.Figure7().Render())
-		ran++
+	s := bench.NewSession(tracer)
+
+	if sel["table2"] {
+		fmt.Println(s.Table2().Render())
 	}
-	if sel("table1") {
-		fmt.Println(bench.Table1().Render())
-		ran++
+	if sel["fig7"] {
+		fmt.Println(s.Figure7().Render())
 	}
-	if sel("fig2") {
-		fmt.Println(bench.Figure2(*kvops).Render())
-		ran++
+	if sel["table1"] {
+		fmt.Println(s.Table1().Render())
 	}
-	if sel("fig8") {
-		fmt.Println(bench.Figure8(*kvops).Render())
-		ran++
+	if sel["fig2"] {
+		fmt.Println(s.Figure2(*kvops).Render())
 	}
-	if sel("table4") {
+	if sel["fig8"] {
+		fmt.Println(s.Figure8(*kvops).Render())
+	}
+	if sel["table4"] {
 		for _, fl := range []mk.Flavor{mk.SeL4, mk.Fiasco, mk.Zircon} {
-			r, err := bench.Table4(bench.Table4Config{
+			r, err := s.Table4(bench.Table4Config{
 				Flavor: fl, Clients: *clients, OpsPerKind: *opsKind, Preload: *preload,
 			})
 			if err != nil {
@@ -73,47 +131,64 @@ func main() {
 			}
 			fmt.Println(r.Render())
 		}
-		ran++
 	}
 	figFor := map[string]mk.Flavor{"fig9": mk.SeL4, "fig10": mk.Fiasco, "fig11": mk.Zircon}
 	for _, name := range []string{"fig9", "fig10", "fig11"} {
-		if !sel(name) {
+		if !sel[name] {
 			continue
 		}
-		r, err := bench.Figure9to11(bench.YCSBConfig{
+		r, err := s.Figure9to11(bench.YCSBConfig{
 			Flavor: figFor[name], Records: *records, Ops: *ops,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(r.Render())
-		ran++
 	}
-	if sel("table5") {
-		r, err := bench.Table5(*records, *ops)
+	if sel["table5"] {
+		r, err := s.Table5(*records, *ops)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(r.Render())
-		ran++
 	}
-	if sel("table6") {
-		r, err := bench.Table6(*scale)
+	if sel["table6"] {
+		r, err := s.Table6(*scale)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(r.Render())
-		ran++
 	}
-	if sel("ablations") {
-		fmt.Println(bench.RenderAblations(bench.Ablations()))
-		ran++
+	if sel["ablations"] {
+		fmt.Println(bench.RenderAblations(s.Ablations()))
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "skybench: no experiment matched %q\n", *runList)
-		flag.Usage()
-		os.Exit(2)
+
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, tracer.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		if d := tracer.TotalDropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "skybench: trace buffers dropped %d events (raise obs.DefaultEventCap)\n", d)
+		}
 	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, s.WriteMetrics); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestSelectExperimentsAll(t *testing.T) {
+	sel, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(experimentNames) {
+		t.Errorf("all selected %d, want %d", len(sel), len(experimentNames))
+	}
+	for _, n := range experimentNames {
+		if !sel[n] {
+			t.Errorf("all did not select %q", n)
+		}
+	}
+}
+
+func TestSelectExperimentsList(t *testing.T) {
+	sel, err := selectExperiments(" Table2, fig7 ,table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || !sel["table2"] || !sel["fig7"] {
+		t.Errorf("sel = %v, want {table2, fig7}", sel)
+	}
+}
+
+func TestSelectExperimentsUnknownRejected(t *testing.T) {
+	// An unknown name must error even when mixed with valid ones
+	// (previously it was silently ignored).
+	if _, err := selectExperiments("table2,bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := selectExperiments("nope"); err == nil {
+		t.Error("unknown-only selection accepted")
+	}
+	if _, err := selectExperiments(""); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := selectExperiments(" , ,"); err == nil {
+		t.Error("blank selection accepted")
+	}
+}
+
+func TestSelectExperimentsAllPlusUnknown(t *testing.T) {
+	if _, err := selectExperiments("all,bogus"); err == nil {
+		t.Error("'all,bogus' accepted; unknown names must always be rejected")
+	}
+}

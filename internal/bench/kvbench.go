@@ -32,11 +32,19 @@ type KVStats struct {
 // returning per-op latency and the hardware counters of the measurement
 // window.
 func RunKV(tr Transport, size, ops int) *KVStats {
+	return NewSession(nil).RunKV(tr, size, ops)
+}
+
+// RunKV is the session form: each operation's latency feeds a histogram
+// named "kv/<transport>/<size>" and the run emits one Record.
+func (s *Session) RunKV(tr Transport, size, ops int) *KVStats {
 	cfg := WorldConfig{Flavor: mk.SeL4, Cores: 4}
 	if tr == TransportSkyBridge {
 		cfg.SkyBridge = true
 	}
-	w := MustWorld(cfg)
+	label := fmt.Sprintf("kv/%s/%d", tr, size)
+	w := s.world(label, cfg)
+	h := s.hist(label)
 	k := w.K
 
 	stats := &KVStats{Transport: tr, Size: size}
@@ -148,6 +156,7 @@ func RunKV(tr Transport, size, ops int) *KVStats {
 		k.Mach.ResetStats()
 		start := env.Now()
 		for i := 0; i < ops; i++ {
+			t := env.Now()
 			if rng.Intn(2) == 0 {
 				if err := c.Insert(env, key(n+i), val(n+i)); err != nil {
 					panic(err)
@@ -157,18 +166,19 @@ func RunKV(tr Transport, size, ops int) *KVStats {
 					panic(err)
 				}
 			}
+			h.Observe(env.Now() - t)
 		}
 		stats.AvgCycles = (env.Now() - start) / uint64(ops)
 
-		// Collect pollution counters across the cores involved.
-		for _, core := range k.Mach.Cores {
-			stats.ICacheMisses += core.L1I.Stats.Misses
-			stats.DCacheMisses += core.L1D.Stats.Misses
-			stats.L2Misses += core.L2.Stats.Misses
-			stats.ITLBMisses += core.ITLB.Stats.Misses
-			stats.DTLBMisses += core.DTLB.Stats.Misses
-		}
-		stats.L3Misses = k.Mach.L3.Stats.Misses
+		// Collect pollution counters across the cores involved, through
+		// the machine's metric registry.
+		reg := k.Mach.Obs
+		stats.ICacheMisses = reg.SumSuffix(".L1I.misses")
+		stats.DCacheMisses = reg.SumSuffix(".L1D.misses")
+		stats.L2Misses = reg.SumSuffix(".L2.misses")
+		stats.ITLBMisses = reg.SumSuffix(".ITLB.misses")
+		stats.DTLBMisses = reg.SumSuffix(".DTLB.misses")
+		stats.L3Misses = reg.Value("L3.misses")
 		for _, c := range closers {
 			c()
 		}
@@ -176,6 +186,24 @@ func RunKV(tr Transport, size, ops int) *KVStats {
 	if err := w.Eng.Run(); err != nil {
 		panic(err)
 	}
+	s.record(Record{
+		Experiment: "kv",
+		Config: map[string]string{
+			"transport": tr.String(),
+			"size":      fmt.Sprintf("%d", size),
+			"ops":       fmt.Sprintf("%d", ops),
+		},
+		CyclesPerOp: float64(stats.AvgCycles),
+		Values: map[string]float64{
+			"icache_misses": float64(stats.ICacheMisses),
+			"dcache_misses": float64(stats.DCacheMisses),
+			"l2_misses":     float64(stats.L2Misses),
+			"l3_misses":     float64(stats.L3Misses),
+			"itlb_misses":   float64(stats.ITLBMisses),
+			"dtlb_misses":   float64(stats.DTLBMisses),
+		},
+		Latency: s.latencyOf(label),
+	})
 	return stats
 }
 
@@ -188,10 +216,13 @@ type Table1Result struct {
 
 // Table1 runs 512 KV operations under Baseline, Delay, and IPC and
 // reports the processor-structure events.
-func Table1() *Table1Result {
+func Table1() *Table1Result { return NewSession(nil).Table1() }
+
+// Table1 is the session form.
+func (s *Session) Table1() *Table1Result {
 	res := &Table1Result{}
 	for _, tr := range []Transport{TransportBaseline, TransportDelay, TransportIPC} {
-		res.Rows = append(res.Rows, RunKV(tr, 64, 512))
+		res.Rows = append(res.Rows, s.RunKV(tr, 64, 512))
 	}
 	return res
 }
@@ -234,16 +265,18 @@ var figure2Paper = map[Transport][]uint64{
 
 // Figure2 measures the KV pipeline latency across payload sizes for the
 // four non-SkyBridge transports (Figure 2); Figure8 adds SkyBridge.
-func Figure2(ops int) *Figure2Result {
-	return runFigure2(ops, false)
-}
+func Figure2(ops int) *Figure2Result { return NewSession(nil).Figure2(ops) }
 
 // Figure8 is Figure 2 plus the SkyBridge series.
-func Figure8(ops int) *Figure2Result {
-	return runFigure2(ops, true)
-}
+func Figure8(ops int) *Figure2Result { return NewSession(nil).Figure8(ops) }
 
-func runFigure2(ops int, withSB bool) *Figure2Result {
+// Figure2 is the session form.
+func (s *Session) Figure2(ops int) *Figure2Result { return s.runFigure2(ops, false) }
+
+// Figure8 is the session form.
+func (s *Session) Figure8(ops int) *Figure2Result { return s.runFigure2(ops, true) }
+
+func (s *Session) runFigure2(ops int, withSB bool) *Figure2Result {
 	trs := []Transport{TransportBaseline, TransportDelay, TransportIPC, TransportIPCCross}
 	if withSB {
 		trs = append(trs, TransportSkyBridge)
@@ -251,8 +284,8 @@ func runFigure2(ops int, withSB bool) *Figure2Result {
 	res := &Figure2Result{Figure8: withSB, Cycles: make(map[Transport][]uint64), Ops: ops}
 	for _, tr := range trs {
 		for _, size := range KVSizes {
-			s := RunKV(tr, size, ops)
-			res.Cycles[tr] = append(res.Cycles[tr], s.AvgCycles)
+			st := s.RunKV(tr, size, ops)
+			res.Cycles[tr] = append(res.Cycles[tr], st.AvgCycles)
 		}
 	}
 	return res

@@ -26,13 +26,29 @@ type Table2Result struct {
 }
 
 // Table2 measures the primitive operations through the hardware model.
-func Table2() *Table2Result {
+func Table2() *Table2Result { return NewSession(nil).Table2() }
+
+// Table2 measures the primitive operations through the hardware model,
+// recording one Record and one per-round latency histogram per row.
+func (s *Session) Table2() *Table2Result {
 	res := &Table2Result{}
 
+	addRow := func(name string, cycles, paper uint64) {
+		res.Rows = append(res.Rows, Table2Row{Name: name, Cycles: cycles, Paper: paper})
+		s.record(Record{
+			Experiment:  "table2",
+			Config:      map[string]string{"op": name},
+			CyclesPerOp: float64(cycles),
+			Values:      map[string]float64{"paper_cycles": float64(paper)},
+			Latency:     s.latencyOf("table2/" + name),
+		})
+	}
+
 	measure := func(name string, paper uint64, kpti bool, op func(cpu *hw.CPU, k *mk.Kernel)) {
-		w := MustWorld(WorldConfig{Flavor: mk.SeL4, KPTI: kpti})
-		p := w.K.NewProcess("m")
+		w := s.world("table2/"+name, WorldConfig{Flavor: mk.SeL4, KPTI: kpti})
+		h := s.hist("table2/" + name)
 		var cycles uint64
+		p := w.K.NewProcess("m")
 		p.Spawn("m", w.K.Mach.Cores[0], func(env *mk.Env) {
 			cpu := env.T.Core
 			const rounds = 1000
@@ -40,14 +56,16 @@ func Table2() *Table2Result {
 			op(cpu, w.K)
 			start := cpu.Clock
 			for i := 0; i < rounds; i++ {
+				t := cpu.Clock
 				op(cpu, w.K)
+				h.Observe(cpu.Clock - t)
 			}
 			cycles = (cpu.Clock - start) / rounds
 		})
 		if err := w.Eng.Run(); err != nil {
 			panic(err)
 		}
-		res.Rows = append(res.Rows, Table2Row{Name: name, Cycles: cycles, Paper: paper})
+		addRow(name, cycles, paper)
 	}
 
 	measure("write to CR3", 186, false, func(cpu *hw.CPU, k *mk.Kernel) {
@@ -69,32 +87,38 @@ func Table2() *Table2Result {
 			cpu.Sysret()
 		}
 	}
+	// The no-op syscall body depends on the world's kernel config, so it
+	// needs its own measure variant that builds the op after the world.
 	measureSyscall := func(name string, paper uint64, kpti bool) {
-		w := MustWorld(WorldConfig{Flavor: mk.SeL4, KPTI: kpti})
-		p := w.K.NewProcess("m")
+		w := s.world("table2/"+name, WorldConfig{Flavor: mk.SeL4, KPTI: kpti})
+		h := s.hist("table2/" + name)
 		var cycles uint64
 		op := nullSyscall(w.K)
+		p := w.K.NewProcess("m")
 		p.Spawn("m", w.K.Mach.Cores[0], func(env *mk.Env) {
 			cpu := env.T.Core
 			const rounds = 1000
 			op(cpu, w.K)
 			start := cpu.Clock
 			for i := 0; i < rounds; i++ {
+				t := cpu.Clock
 				op(cpu, w.K)
+				h.Observe(cpu.Clock - t)
 			}
 			cycles = (cpu.Clock - start) / rounds
 		})
 		if err := w.Eng.Run(); err != nil {
 			panic(err)
 		}
-		res.Rows = append(res.Rows, Table2Row{Name: name, Cycles: cycles, Paper: paper})
+		addRow(name, cycles, paper)
 	}
 	measureSyscall("no-op system call w/ KPTI", 431, true)
 	measureSyscall("no-op system call w/o KPTI", 181, false)
 
 	// VMFUNC requires the virtualized world.
 	{
-		w := MustWorld(WorldConfig{Flavor: mk.SeL4, SkyBridge: true})
+		w := s.world("table2/VMFUNC", WorldConfig{Flavor: mk.SeL4, SkyBridge: true})
+		h := s.hist("table2/VMFUNC")
 		server := w.K.NewProcess("server")
 		client := w.K.NewProcess("client")
 		var id int
@@ -115,15 +139,27 @@ func Table2() *Table2Result {
 			cpu.VMFunc(0, 0)
 			start := cpu.Clock
 			for i := 0; i < rounds; i++ {
+				t := cpu.Clock
 				cpu.VMFunc(0, id)
+				h.Observe(cpu.Clock - t)
+				t = cpu.Clock
 				cpu.VMFunc(0, 0)
+				h.Observe(cpu.Clock - t)
 			}
 			cycles = (cpu.Clock - start) / (2 * rounds)
 		})
 		if err := w.Eng.Run(); err != nil {
 			panic(err)
 		}
-		res.Rows = append(res.Rows, Table2Row{Name: "VMFUNC", Cycles: cycles, Paper: 134})
+		addRow("VMFUNC", cycles, 134)
+	}
+
+	// Full direct server call (the paper's 396-cycle SkyBridge round trip);
+	// not a Table 2 row in the paper, but the natural companion measurement
+	// and the one a trace of this experiment shows as skybridge.call spans.
+	{
+		cycles, _ := s.measureSkyBridge(mk.SeL4, "table2/direct server call")
+		addRow("direct server call", cycles, 396)
 	}
 	return res
 }
@@ -156,9 +192,11 @@ type Figure7Result struct {
 }
 
 // measureEchoIPC runs a warm same- or cross-core empty-message echo and
-// returns (cycles per round trip, per-round component breakdown).
-func measureEchoIPC(flavor mk.Flavor, sameCore bool, virtualized bool) (uint64, map[string]float64) {
-	w := MustWorld(WorldConfig{Flavor: flavor, Virtualized: virtualized})
+// returns (cycles per round trip, per-round component breakdown). Each
+// round trip is observed into the session histogram named label.
+func (s *Session) measureEchoIPC(flavor mk.Flavor, sameCore bool, virtualized bool, label string) (uint64, map[string]float64) {
+	w := s.world(label, WorldConfig{Flavor: flavor, Virtualized: virtualized})
+	h := s.hist(label)
 	client := w.K.NewProcess("client")
 	server := w.K.NewProcess("server")
 	ep := w.K.NewEndpoint("echo")
@@ -183,7 +221,9 @@ func measureEchoIPC(flavor mk.Flavor, sameCore bool, virtualized bool) (uint64, 
 		const rounds = 256
 		start := env.Now()
 		for i := 0; i < rounds; i++ {
+			t := env.Now()
 			env.Call(ep, mk.Msg{}, 0)
+			h.Observe(env.Now() - t)
 			w.K.BD.Rounds++
 		}
 		cycles = (env.Now() - start) / rounds
@@ -195,9 +235,11 @@ func measureEchoIPC(flavor mk.Flavor, sameCore bool, virtualized bool) (uint64, 
 	return cycles, w.K.BD.PerRound()
 }
 
-// measureSkyBridge runs the warm direct-call microbenchmark.
-func measureSkyBridge(flavor mk.Flavor) (uint64, map[string]float64) {
-	w := MustWorld(WorldConfig{Flavor: flavor, SkyBridge: true})
+// measureSkyBridge runs the warm direct-call microbenchmark, observing each
+// round trip into the session histogram named label.
+func (s *Session) measureSkyBridge(flavor mk.Flavor, label string) (uint64, map[string]float64) {
+	w := s.world(label, WorldConfig{Flavor: flavor, SkyBridge: true})
+	h := s.hist(label)
 	server := w.K.NewProcess("server")
 	client := w.K.NewProcess("client")
 	var id int
@@ -223,7 +265,9 @@ func measureSkyBridge(flavor mk.Flavor) (uint64, map[string]float64) {
 		startVM := cpu.Counters.VMFuncs
 		start := env.Now()
 		for i := 0; i < rounds; i++ {
+			t := env.Now()
 			conn.Invoke(env, svc.Req{})
+			h.Observe(env.Now() - t)
 		}
 		cycles = (env.Now() - start) / rounds
 		vmfuncs = (cpu.Counters.VMFuncs - startVM) / rounds
@@ -239,14 +283,30 @@ func measureSkyBridge(flavor mk.Flavor) (uint64, map[string]float64) {
 }
 
 // Figure7 regenerates the IPC breakdown chart.
-func Figure7() *Figure7Result {
+func Figure7() *Figure7Result { return NewSession(nil).Figure7() }
+
+// Figure7 regenerates the IPC breakdown chart, recording one Record and one
+// per-round-trip latency histogram per configuration.
+func (s *Session) Figure7() *Figure7Result {
 	res := &Figure7Result{}
 	add := func(name string, total uint64, comps map[string]float64, paper uint64) {
 		res.Rows = append(res.Rows, Figure7Row{Name: name, Total: total, Components: comps, Paper: paper})
+		vals := map[string]float64{"paper_cycles": float64(paper)}
+		for k, v := range comps {
+			vals["component/"+k] = v
+		}
+		s.record(Record{
+			Experiment:  "fig7",
+			Config:      map[string]string{"configuration": name},
+			CyclesPerOp: float64(total),
+			Values:      vals,
+			Latency:     s.latencyOf("fig7/" + name),
+		})
 	}
 	for _, fl := range []mk.Flavor{mk.SeL4, mk.Fiasco, mk.Zircon} {
-		c, comps := measureSkyBridge(fl)
-		add(fl.String()+"-SkyBridge", c, comps, 396)
+		name := fl.String() + "-SkyBridge"
+		c, comps := s.measureSkyBridge(fl, "fig7/"+name)
+		add(name, c, comps, 396)
 	}
 	papers := map[string][2]uint64{
 		"seL4":      {986, 6764},
@@ -254,10 +314,12 @@ func Figure7() *Figure7Result {
 		"Zircon":    {8157, 20099},
 	}
 	for _, fl := range []mk.Flavor{mk.SeL4, mk.Fiasco, mk.Zircon} {
-		c, comps := measureEchoIPC(fl, true, false)
-		add(fl.String()+" single-core", c, comps, papers[fl.String()][0])
-		c, comps = measureEchoIPC(fl, false, false)
-		add(fl.String()+" cross-core", c, comps, papers[fl.String()][1])
+		name := fl.String() + " single-core"
+		c, comps := s.measureEchoIPC(fl, true, false, "fig7/"+name)
+		add(name, c, comps, papers[fl.String()][0])
+		name = fl.String() + " cross-core"
+		c, comps = s.measureEchoIPC(fl, false, false, "fig7/"+name)
+		add(name, c, comps, papers[fl.String()][1])
 	}
 	return res
 }

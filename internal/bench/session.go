@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"skybridge/internal/obs"
+)
+
+// Record is one machine-readable experiment result: what ran, under which
+// configuration, and what it measured. Every experiment in a Session emits
+// at least one Record, so a driver (CI, a plotting script) can consume the
+// whole evaluation without scraping the rendered tables.
+type Record struct {
+	Experiment string `json:"experiment"`
+	// Config identifies the cell (flavor, transport, payload size, ...).
+	Config map[string]string `json:"config,omitempty"`
+	// CyclesPerOp is the headline per-operation cost in simulated cycles,
+	// when the experiment has one.
+	CyclesPerOp float64 `json:"cycles_per_op,omitempty"`
+	// Values carries the experiment's other scalars (throughputs, miss
+	// counts, paper reference values).
+	Values map[string]float64 `json:"values,omitempty"`
+	// Latency is the per-op latency distribution of the measurement
+	// window, when the experiment observes individual operations.
+	Latency *obs.Summary `json:"latency,omitempty"`
+}
+
+// Session runs experiments with shared observability state: an optional
+// tracer (each world becomes one trace process) and a registry of per-op
+// latency histograms, plus the accumulated Records. The zero-config entry
+// points (Table2(), Figure7(), ...) are thin wrappers over a throwaway
+// Session, so existing callers are unaffected.
+type Session struct {
+	// Trace, when non-nil, receives one trace process per world built by
+	// the session's experiments.
+	Trace *obs.Tracer
+	// Reg holds the session-level per-op latency histograms, named
+	// "<experiment>/<cell>".
+	Reg *obs.Registry
+
+	recs []Record
+}
+
+// NewSession creates a session; trace may be nil (metrics only).
+func NewSession(trace *obs.Tracer) *Session {
+	return &Session{Trace: trace, Reg: obs.NewRegistry()}
+}
+
+// world builds a World, attaching it to the session tracer under label.
+func (s *Session) world(label string, cfg WorldConfig) *World {
+	if s.Trace != nil {
+		cfg.Trace = s.Trace
+		cfg.Label = label
+	}
+	return MustWorld(cfg)
+}
+
+// hist returns the session histogram for one experiment cell.
+func (s *Session) hist(name string) *obs.Histogram { return s.Reg.Histogram(name) }
+
+// latencyOf digests a session histogram (nil if it saw no observations).
+func (s *Session) latencyOf(name string) *obs.Summary {
+	h := s.Reg.Histogram(name)
+	if h.Count() == 0 {
+		return nil
+	}
+	sum := h.Summary()
+	return &sum
+}
+
+// record appends one result record.
+func (s *Session) record(r Record) { s.recs = append(s.recs, r) }
+
+// Records returns the accumulated records in emission order.
+func (s *Session) Records() []Record { return s.recs }
+
+// MetricsOutput is the JSON document WriteMetrics emits.
+type MetricsOutput struct {
+	Records []Record `json:"records"`
+	// Histograms are the session's per-op latency distributions.
+	Histograms map[string]obs.Summary `json:"histograms,omitempty"`
+}
+
+// WriteMetrics serializes every record plus the latency histograms.
+// Deterministic for identical runs: records keep emission order and map
+// keys serialize sorted.
+func (s *Session) WriteMetrics(w io.Writer) error {
+	out := MetricsOutput{Records: s.recs}
+	if len(s.recs) == 0 {
+		out.Records = []Record{}
+	}
+	snap := s.Reg.Snapshot()
+	if len(snap.Histograms) > 0 {
+		out.Histograms = snap.Histograms
+	}
+	buf, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// --- session wrappers for the macro experiments ---
+//
+// These run the existing experiment functions and convert their result
+// structs to Records; the micro/KV experiments (micro.go, kvbench.go) are
+// instrumented natively and also feed per-op histograms.
+
+// Table4 runs Table 4 for one flavor and records each mode's throughputs.
+func (s *Session) Table4(cfg Table4Config) (*Table4Result, error) {
+	r, err := Table4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range r.Rows {
+		s.record(Record{
+			Experiment: "table4",
+			Config:     map[string]string{"flavor": r.Flavor.String(), "mode": row.Mode.String()},
+			Values: map[string]float64{
+				"insert_ops_per_sec": row.Insert,
+				"update_ops_per_sec": row.Update,
+				"query_ops_per_sec":  row.Query,
+				"delete_ops_per_sec": row.Delete,
+			},
+		})
+	}
+	return r, nil
+}
+
+// Figure9to11 runs the YCSB scalability figure and records each cell.
+func (s *Session) Figure9to11(cfg YCSBConfig) (*YCSBResult, error) {
+	r, err := Figure9to11(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, mode := range []ServerMode{ModeST, ModeMT, ModeSB} {
+		for i, th := range r.Threads {
+			s.record(Record{
+				Experiment: "ycsb",
+				Config: map[string]string{
+					"flavor": r.Flavor.String(), "mode": mode.String(),
+					"threads": fmt.Sprintf("%d", th),
+				},
+				Values: map[string]float64{
+					"ops_per_sec": r.Tput[mode][i],
+					"vm_exits":    float64(r.VMExits[mode][i]),
+				},
+			})
+		}
+	}
+	return r, nil
+}
+
+// Table5 runs the virtualization-overhead table and records each row.
+func (s *Session) Table5(records, ops int) (*Table5Result, error) {
+	r, err := Table5(records, ops)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range r.Rows {
+		s.record(Record{
+			Experiment: "table5",
+			Config:     map[string]string{"threads": fmt.Sprintf("%d", row.Threads)},
+			Values: map[string]float64{
+				"native_ops_per_sec":     row.Native,
+				"rootkernel_ops_per_sec": row.Rootkernel,
+				"vm_exits":               float64(row.VMExits),
+			},
+		})
+	}
+	return r, nil
+}
+
+// Table6 runs the inadvertent-VMFUNC scan and records each program class.
+func (s *Session) Table6(scale int) (*Table6Result, error) {
+	r, err := Table6(scale)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range r.Rows {
+		s.record(Record{
+			Experiment: "table6",
+			Config:     map[string]string{"program": row.Program, "scale": fmt.Sprintf("%d", r.Scale)},
+			Values: map[string]float64{
+				"inadvertent": float64(row.Inadvertent),
+				"paper_count": float64(row.PaperCount),
+			},
+		})
+	}
+	return r, nil
+}
+
+// Ablations runs the design-choice ablations and records each comparison.
+func (s *Session) Ablations() []*AblationResult {
+	rs := Ablations()
+	for _, r := range rs {
+		s.record(Record{
+			Experiment: "ablation",
+			Config:     map[string]string{"name": r.Name, "unit": r.Unit},
+			Values:     map[string]float64{r.ArmA: r.ValueA, r.ArmB: r.ValueB},
+		})
+	}
+	return rs
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"skybridge/internal/mk"
+	"skybridge/internal/obs"
+)
+
+// TestTracingDoesNotPerturbSimulation is the zero-cost-when-disabled
+// guarantee from the other side: enabling tracing must not change any
+// simulated result, because recording only reads the cycle clock.
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	plain := NewSession(nil).RunKV(TransportSkyBridge, 16, 64)
+	traced := NewSession(obs.NewTracer()).RunKV(TransportSkyBridge, 16, 64)
+	if plain.AvgCycles != traced.AvgCycles {
+		t.Errorf("AvgCycles: untraced %d vs traced %d", plain.AvgCycles, traced.AvgCycles)
+	}
+	if *plain != *traced {
+		t.Errorf("stats diverge:\nuntraced %+v\ntraced   %+v", plain, traced)
+	}
+}
+
+// TestSessionOutputsDeterministic runs the same experiment twice and
+// requires byte-identical trace and metrics serializations.
+func TestSessionOutputsDeterministic(t *testing.T) {
+	run := func() (trace, metrics []byte) {
+		tr := obs.NewTracer()
+		s := NewSession(tr)
+		s.RunKV(TransportSkyBridge, 16, 64)
+		s.RunKV(TransportIPC, 16, 64)
+		var tb, mb bytes.Buffer
+		if err := tr.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteMetrics(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), mb.Bytes()
+	}
+	t1, m1 := run()
+	t2, m2 := run()
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace output not byte-identical across identical runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics output not byte-identical across identical runs")
+	}
+	var doc MetricsOutput
+	if err := json.Unmarshal(m1, &doc); err != nil {
+		t.Fatalf("metrics output not valid JSON: %v", err)
+	}
+	if len(doc.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(doc.Records))
+	}
+	if doc.Records[0].Experiment != "kv" || doc.Records[0].Config["transport"] != "SkyBridge" {
+		t.Errorf("record 0 = %+v", doc.Records[0])
+	}
+	if doc.Records[0].Latency == nil || doc.Records[0].Latency.Count != 64 {
+		t.Errorf("record 0 latency = %+v, want 64 observations", doc.Records[0].Latency)
+	}
+}
+
+// TestSessionTraceContents checks that a traced SkyBridge run actually
+// produces the direct-call spans with phase attribution.
+func TestSessionTraceContents(t *testing.T) {
+	tr := obs.NewTracer()
+	s := NewSession(tr)
+	s.RunKV(TransportSkyBridge, 16, 32)
+	if tr.TotalDropped() != 0 {
+		t.Fatalf("dropped %d events", tr.TotalDropped())
+	}
+	seen := map[string]int{}
+	for _, pt := range tr.Processes() {
+		if pt.Name() != "kv/SkyBridge/16" {
+			t.Errorf("process name = %q", pt.Name())
+		}
+		for i := 0; i < pt.Cores(); i++ {
+			for _, ev := range pt.Core(i).Events() {
+				seen[ev.Name]++
+				if ev.Ph == obs.PhaseSpan && ev.Name == "skybridge.call" && ev.Dur == 0 {
+					t.Errorf("unclosed skybridge.call span at ts %d", ev.Ts)
+				}
+			}
+		}
+	}
+	for _, name := range []string{"skybridge.call", "phase.trampoline", "phase.vmfunc", "phase.server", "phase.return"} {
+		if seen[name] == 0 {
+			t.Errorf("no %q events recorded (saw %v)", name, seen)
+		}
+	}
+	if seen["skybridge.call"] != seen["phase.vmfunc"] {
+		t.Errorf("%d calls but %d vmfunc phases", seen["skybridge.call"], seen["phase.vmfunc"])
+	}
+}
+
+// TestRegistryStatsMatchLegacyCollection pins the SumSuffix-based counter
+// collection to the per-core struct fields it replaced.
+func TestRegistryStatsMatchLegacyCollection(t *testing.T) {
+	s := NewSession(nil)
+	w := s.world("check", WorldConfig{Flavor: mk.SeL4, Cores: 4})
+	k := w.K
+	p := k.NewProcess("m")
+	buf := p.Alloc(4096)
+	p.Spawn("m", k.Mach.Cores[0], func(env *mk.Env) {
+		var b [64]byte
+		for i := 0; i < 32; i++ {
+			env.Write(buf, b[:], len(b))
+			env.Read(buf, b[:], len(b))
+		}
+	})
+	if err := w.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, core := range k.Mach.Cores {
+		want += core.L1D.Stats.Misses
+	}
+	if got := k.Mach.Obs.SumSuffix(".L1D.misses"); got != want {
+		t.Errorf("SumSuffix(.L1D.misses) = %d, struct-field sum = %d", got, want)
+	}
+	if got := k.Mach.Obs.Value("L3.misses"); got != k.Mach.L3.Stats.Misses {
+		t.Errorf("Value(L3.misses) = %d, field = %d", got, k.Mach.L3.Stats.Misses)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"skybridge/internal/hv"
 	"skybridge/internal/hw"
 	"skybridge/internal/mk"
+	"skybridge/internal/obs"
 	"skybridge/internal/sim"
 )
 
@@ -37,6 +38,11 @@ type WorldConfig struct {
 	SkyBridge   bool // implies Virtualized
 	KPTI        bool
 	HVConfig    hv.Config
+
+	// Trace, when non-nil, attaches this world's machine to the tracer as
+	// one trace process named Label (one track per core).
+	Trace *obs.Tracer
+	Label string
 }
 
 // NewWorld assembles a machine, kernel, and (optionally) the Rootkernel
@@ -48,7 +54,15 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	if cfg.MemBytes == 0 {
 		cfg.MemBytes = 4 << 30
 	}
-	eng := sim.NewEngine(hw.NewMachine(hw.MachineConfig{Cores: cfg.Cores, MemBytes: cfg.MemBytes}))
+	mach := hw.NewMachine(hw.MachineConfig{Cores: cfg.Cores, MemBytes: cfg.MemBytes})
+	if cfg.Trace != nil {
+		label := cfg.Label
+		if label == "" {
+			label = "machine"
+		}
+		mach.AttachTrace(cfg.Trace, label)
+	}
+	eng := sim.NewEngine(mach)
 	k := mk.New(mk.Config{Flavor: cfg.Flavor, KPTI: cfg.KPTI}, eng)
 	w := &World{Eng: eng, K: k}
 	if cfg.Virtualized || cfg.SkyBridge {

@@ -5,6 +5,7 @@ import (
 
 	"skybridge/internal/hw"
 	"skybridge/internal/mk"
+	"skybridge/internal/obs"
 )
 
 // trampEntryVA/trampReturnVA are the fetch targets charged during a call.
@@ -47,8 +48,16 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 	// hook, our EPTP list) if other threads ran on this core meanwhile.
 	env.Enter()
 
+	// One span per direct call, with per-phase cycle attribution (the
+	// in-trace analogue of the paper's Table 2 breakdown). The phase
+	// timestamps are plain Clock reads, so an untraced run is unperturbed.
+	tr := cpu.Trace
+	span := tr.Begin(cpu.Clock, "skybridge.call", "core")
+	t0 := cpu.Clock
+
 	// --- client-side trampoline ---
 	if err := cpu.TouchCode(TrampolineVA, trampEntryLen); err != nil {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return Response{}, fmt.Errorf("core: trampoline fetch: %w", err)
 	}
 	cpu.Tick(costSaveRegs)
@@ -65,6 +74,7 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 	// client side, user mode.
 	if req.Len > 0 {
 		if req.Len > conn.BufLen {
+			tr.End(span, cpu.Clock, obs.U("error", 1))
 			return Response{}, fmt.Errorf("core: payload %d exceeds shared buffer %d", req.Len, conn.BufLen)
 		}
 		if req.Buf != conn.ClientBuf {
@@ -87,15 +97,19 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 	}
 	slot, _, err := sb.RK.ResolveSlot(cpu, tc.proc, serverID, tc.stack)
 	if err != nil {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return Response{}, fmt.Errorf("core: slot resolve for server %d: %w", serverID, err)
 	}
+	tTramp := cpu.Clock
 
 	// --- the EPTP switch ---
 	if err := cpu.VMFunc(0, slot); err != nil {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return Response{}, fmt.Errorf("core: vmfunc to server %d (slot %d): %w", serverID, slot, err)
 	}
 	sb.afterSwitch(cpu)
 	tc.stack = append(tc.stack, slot)
+	tSwitch := cpu.Clock
 
 	// --- server-side trampoline ---
 	cpu.Tick(costInstallStack)
@@ -116,6 +130,7 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 		cpu.Swapgs()
 		cpu.Sysret()
 		sb.switchBack(env, tc)
+		tr.End(span, cpu.Clock, obs.U("bad_key", 1))
 		return Response{}, ErrBadKey
 	}
 
@@ -128,11 +143,14 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 	if timeout > 0 && cpu.Clock-start > timeout {
 		// Forced return (§7): the control flow comes back to the client.
 		sb.switchBack(env, tc)
+		tr.End(span, cpu.Clock, obs.U("timeout", 1))
 		return Response{}, ErrTimeout
 	}
+	tServer := cpu.Clock
 
 	// --- return thunk ---
 	if err := cpu.TouchCode(trampReturnVA, trampReturnLen); err != nil {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return Response{}, fmt.Errorf("core: return thunk fetch: %w", err)
 	}
 	cpu.Tick(costRestoreRegs)
@@ -143,9 +161,22 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 	echoed := clientKey // the simulated trampoline echoes it in a register
 	cpu.Tick(6)
 	if echoed != clientKey {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return Response{}, ErrReturnKey
 	}
 	sb.DirectCalls++
+	if tr != nil {
+		tr.Complete(t0, tTramp-t0, "phase.trampoline", "core")
+		tr.Complete(tTramp, tSwitch-tTramp, "phase.vmfunc", "core")
+		tr.Complete(tSwitch, tServer-tSwitch, "phase.server", "core")
+		tr.Complete(tServer, cpu.Clock-tServer, "phase.return", "core")
+		tr.End(span, cpu.Clock,
+			obs.U("server", uint64(serverID)),
+			obs.U("trampoline", tTramp-t0),
+			obs.U("vmfunc", tSwitch-tTramp),
+			obs.U("server_cycles", tServer-tSwitch),
+			obs.U("return", cpu.Clock-tServer))
+	}
 	return resp, nil
 }
 

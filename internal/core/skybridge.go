@@ -165,7 +165,7 @@ type SkyBridge struct {
 
 // New creates the SkyBridge facility over a booted Rootkernel.
 func New(k *mk.Kernel, rk *hv.Rootkernel) *SkyBridge {
-	return &SkyBridge{
+	sb := &SkyBridge{
 		K:        k,
 		RK:       rk,
 		servers:  make(map[int]*Server),
@@ -173,6 +173,8 @@ func New(k *mk.Kernel, rk *hv.Rootkernel) *SkyBridge {
 		tc:       make(map[*sim.Thread]*threadCtx),
 		rng:      rand.New(rand.NewSource(0x5B)), // deterministic key stream
 	}
+	k.Mach.Obs.Bind("core.direct_calls", &sb.DirectCalls)
+	return sb
 }
 
 // threadCtx is one thread's direct-call chain state.

@@ -5,6 +5,7 @@ import (
 
 	"skybridge/internal/hw"
 	"skybridge/internal/mk"
+	"skybridge/internal/obs"
 )
 
 // This file implements the paper's §10 future-work item: "since the EPTP
@@ -121,6 +122,16 @@ func (rk *Rootkernel) loadSlot(cpu *hw.CPU, args *LoadSlotArgs) error {
 	ps.list[victim] = ept
 	rk.syncSlot(cpu, ps, victim, ept)
 	args.Slot = victim
+	// cpu is nil for the eager load issued from bind (no core context).
+	if cpu != nil && cpu.Trace != nil {
+		var evicted uint64
+		if args.Evicted {
+			evicted = 1
+		}
+		cpu.Trace.Instant(cpu.Clock, "eptp.load_slot", "hv",
+			obs.U("server", uint64(args.ServerID)), obs.U("slot", uint64(victim)),
+			obs.U("evicted", evicted))
+	}
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"skybridge/internal/hw"
 	"skybridge/internal/mk"
+	"skybridge/internal/obs"
 )
 
 // Hypercall numbers (the VMCALL interface between Subkernel and Rootkernel).
@@ -110,7 +111,14 @@ type Rootkernel struct {
 	// installed tracks which process's list each core currently has.
 	installed []*mk.Process
 
-	// Stats.
+	// haveBindings is set once any SkyBridge binding exists anywhere; it
+	// gates the context-switch EPTP-list install. It is deliberately
+	// separate from the Bindings counter, which benchmarks may reset.
+	haveBindings bool
+
+	// Stats. All of these are bound into the machine's obs registry at
+	// Boot, so Machine.ResetStats clears them together with the hardware
+	// counters.
 	Hypercalls    uint64
 	ListInstall   uint64
 	Bindings      uint64
@@ -147,6 +155,11 @@ func Boot(sub *mk.Kernel, cfg Config) (*Rootkernel, error) {
 	if err := rk.buildBaseEPT(); err != nil {
 		return nil, err
 	}
+	mach.Obs.Bind("hv.hypercalls", &rk.Hypercalls)
+	mach.Obs.Bind("hv.list_installs", &rk.ListInstall)
+	mach.Obs.Bind("hv.bindings", &rk.Bindings)
+	mach.Obs.Bind("hv.slot_loads", &rk.slotLoads)
+	mach.Obs.Bind("hv.slot_evictions", &rk.slotEvictions)
 
 	controls := hw.VMExitControls{ExitOnCPUID: true}
 	if cfg.TrapAll {
@@ -265,7 +278,7 @@ func writePID(mem *hw.PhysMem, frame hw.HPA, pid uint64) {
 // which also strips a malicious unregistered process of any leftover EPTP
 // entries (its trivial list makes every VMFUNC index invalid).
 func (rk *Rootkernel) onContextSwitch(cpu *hw.CPU, next *mk.Process) {
-	if rk.Bindings == 0 || rk.installed[cpu.ID] == next {
+	if !rk.haveBindings || rk.installed[cpu.ID] == next {
 		return
 	}
 	call := &hw.Hypercall{Nr: HCInstallList, Ptr: next}
@@ -379,6 +392,7 @@ func (rk *Rootkernel) bind(args *BindArgs) error {
 	cps.bindings[args.Index] = eptS
 	cps.hasBindings = true
 	rk.Bindings++
+	rk.haveBindings = true
 	// Eagerly load the binding into a hardware slot.
 	load := &LoadSlotArgs{Proc: args.Client, ServerID: args.Index}
 	if err := rk.loadSlot(nil, load); err != nil {
@@ -405,6 +419,9 @@ func (rk *Rootkernel) installList(cpu *hw.CPU, p *mk.Process) {
 	cpu.SetEPT(ps.list[0])
 	rk.installed[cpu.ID] = p
 	rk.ListInstall++
+	if cpu.Trace != nil {
+		cpu.Trace.Instant(cpu.Clock, "eptp.install", "hv", obs.U("pid", uint64(p.PID)))
+	}
 }
 
 // Bind is the Subkernel-side convenience wrapper issuing the HCBind

@@ -1,6 +1,10 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+
+	"skybridge/internal/obs"
+)
 
 // CacheConfig describes one level of a set-associative cache.
 type CacheConfig struct {
@@ -129,3 +133,13 @@ func (c *Cache) Flush() {
 // ResetStats zeroes the counters without touching cache contents, so an
 // experiment can warm up and then measure.
 func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
+// BindObs registers this cache's counters with the registry under
+// "<name>.accesses" etc., where <name> is the configured cache name
+// (e.g. "cpu0.L1I"). The hot path keeps incrementing the struct fields
+// directly; the registry only reads and resets them.
+func (c *Cache) BindObs(r *obs.Registry) {
+	r.Bind(c.cfg.Name+".accesses", &c.Stats.Accesses)
+	r.Bind(c.cfg.Name+".hits", &c.Stats.Hits)
+	r.Bind(c.cfg.Name+".misses", &c.Stats.Misses)
+}

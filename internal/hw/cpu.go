@@ -1,6 +1,10 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+
+	"skybridge/internal/obs"
+)
 
 // Mode is the CPU privilege mode (the x86 ring, collapsed to the two levels
 // that matter here).
@@ -73,6 +77,11 @@ type CPU struct {
 	ITLB, DTLB   *TLB
 
 	Counters CPUCounters
+
+	// Trace is this core's trace track; nil disables tracing. Event
+	// recording only reads Clock — it never advances it and never touches
+	// the cache/TLB models, so tracing cannot perturb measured cycles.
+	Trace *obs.CoreTrace
 }
 
 // Machine returns the machine this core belongs to.
@@ -287,12 +296,18 @@ func (c *CPU) Syscall() {
 	c.Clock += CostSYSCALL
 	c.Counters.Syscalls++
 	c.Mode = ModeKernel
+	if c.Trace != nil {
+		c.Trace.Complete(c.Clock-CostSYSCALL, CostSYSCALL, "SYSCALL", "hw")
+	}
 }
 
 // Sysret charges the SYSRET instruction and returns to user mode.
 func (c *CPU) Sysret() {
 	c.Clock += CostSYSRET
 	c.Mode = ModeUser
+	if c.Trace != nil {
+		c.Trace.Complete(c.Clock-CostSYSRET, CostSYSRET, "SYSRET", "hw")
+	}
 }
 
 // Swapgs charges one SWAPGS instruction.
@@ -307,6 +322,10 @@ func (c *CPU) WriteCR3(root GPA, pcid uint16) error {
 		return fmt.Errorf("hw: CR3 write in user mode (#GP)")
 	}
 	c.Clock += CostWriteCR3
+	if c.Trace != nil {
+		c.Trace.Complete(c.Clock-CostWriteCR3, CostWriteCR3, "WriteCR3", "hw",
+			obs.U("pcid", uint64(pcid)))
+	}
 	if c.NonRoot && c.VMCS != nil && c.VMCS.Controls.ExitOnCR3Write {
 		if err := c.mach.deliverExit(c, &VMExit{Reason: ExitCR3Write}); err != nil {
 			return err
@@ -325,6 +344,10 @@ func (c *CPU) WriteCR3(root GPA, pcid uint16) error {
 func (c *CPU) VMFunc(fn int, index int) error {
 	c.Clock += CostVMFUNC
 	c.Counters.VMFuncs++
+	if c.Trace != nil {
+		c.Trace.Complete(c.Clock-CostVMFUNC, CostVMFUNC, "VMFUNC", "hw",
+			obs.U("fn", uint64(fn)), obs.U("index", uint64(index)))
+	}
 	if !c.NonRoot {
 		return fmt.Errorf("hw: VMFUNC outside VMX non-root mode (#UD)")
 	}

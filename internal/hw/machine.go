@@ -1,6 +1,10 @@
 package hw
 
-import "fmt"
+import (
+	"fmt"
+
+	"skybridge/internal/obs"
+)
 
 // MachineConfig sizes a simulated machine. Zero fields take Skylake-like
 // defaults matching the paper's i7-6700K testbed.
@@ -69,6 +73,11 @@ type Machine struct {
 
 	exitHandler ExitHandler
 
+	// Obs is the machine's metric registry. Every cache, TLB, and CPU
+	// counter is bound into it at construction; kernels and the hypervisor
+	// bind their own counters into the same registry at boot.
+	Obs *obs.Registry
+
 	// Counters.
 	VMExits  map[ExitReason]uint64
 	IPICount uint64
@@ -80,9 +89,11 @@ func NewMachine(cfg MachineConfig) *Machine {
 	m := &Machine{
 		Config:  cfg,
 		Mem:     NewPhysMem(cfg.MemBytes),
+		Obs:     obs.NewRegistry(),
 		VMExits: make(map[ExitReason]uint64),
 	}
 	m.L3 = NewCache(CacheConfig{Name: "L3", Size: cfg.L3Size, Ways: 16, Latency: cfg.L3Latency}, nil, cfg.MemLatency)
+	m.L3.BindObs(m.Obs)
 	for i := 0; i < cfg.Cores; i++ {
 		l2 := NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L2", i), Size: cfg.L2Size, Ways: 4, Latency: cfg.L2Latency}, m.L3, 0)
 		cpu := &CPU{
@@ -97,8 +108,38 @@ func NewMachine(cfg MachineConfig) *Machine {
 			DTLB: NewTLB(cfg.DTLBEntries),
 		}
 		m.Cores = append(m.Cores, cpu)
+
+		prefix := fmt.Sprintf("cpu%d", i)
+		cpu.L1I.BindObs(m.Obs)
+		cpu.L1D.BindObs(m.Obs)
+		cpu.L2.BindObs(m.Obs)
+		cpu.ITLB.BindObs(m.Obs, prefix+".ITLB")
+		cpu.DTLB.BindObs(m.Obs, prefix+".DTLB")
+		m.Obs.Bind(prefix+".instructions", &cpu.Counters.Instructions)
+		m.Obs.Bind(prefix+".data_accesses", &cpu.Counters.DataAccesses)
+		m.Obs.Bind(prefix+".code_fetches", &cpu.Counters.CodeFetches)
+		m.Obs.Bind(prefix+".page_walks", &cpu.Counters.PageWalks)
+		m.Obs.Bind(prefix+".ept_walk_reads", &cpu.Counters.EPTWalkReads)
+		m.Obs.Bind(prefix+".syscalls", &cpu.Counters.Syscalls)
+		m.Obs.Bind(prefix+".vmfuncs", &cpu.Counters.VMFuncs)
 	}
+	m.Obs.Bind("machine.ipis", &m.IPICount)
 	return m
+}
+
+// AttachTrace creates one trace process (named label) for this machine and
+// wires one track per core into the CPUs. Passing a nil tracer detaches.
+func (m *Machine) AttachTrace(t *obs.Tracer, label string) {
+	if t == nil {
+		for _, c := range m.Cores {
+			c.Trace = nil
+		}
+		return
+	}
+	pt := t.Process(label, len(m.Cores))
+	for i, c := range m.Cores {
+		c.Trace = pt.Core(i)
+	}
 }
 
 // SetExitHandler installs the Rootkernel's VM-exit handler.
@@ -108,6 +149,9 @@ func (m *Machine) SetExitHandler(h ExitHandler) { m.exitHandler = h }
 func (m *Machine) deliverExit(c *CPU, exit *VMExit) error {
 	c.Clock += CostVMExit
 	m.VMExits[exit.Reason]++
+	if c.Trace != nil {
+		c.Trace.Complete(c.Clock-CostVMExit, CostVMExit, "vmexit:"+exit.Reason.String(), "hw")
+	}
 	if m.exitHandler == nil {
 		return fmt.Errorf("hw: unhandled %v (no hypervisor installed)", exit)
 	}
@@ -135,19 +179,13 @@ func (m *Machine) SendIPI(from, to int) {
 	}
 	m.Cores[from].Clock += CostIPI
 	m.IPICount++
+	if tr := m.Cores[from].Trace; tr != nil {
+		tr.Complete(m.Cores[from].Clock-CostIPI, CostIPI, "IPI", "hw", obs.U("to", uint64(to)))
+	}
 }
 
-// ResetStats clears all cache, TLB, and counter state across the machine
-// (contents are preserved; only statistics reset).
-func (m *Machine) ResetStats() {
-	m.L3.ResetStats()
-	for _, c := range m.Cores {
-		c.L1I.ResetStats()
-		c.L1D.ResetStats()
-		c.L2.ResetStats()
-		c.ITLB.ResetStats()
-		c.DTLB.ResetStats()
-		c.Counters = CPUCounters{}
-	}
-	m.IPICount = 0
-}
+// ResetStats clears every counter registered with the machine's registry —
+// caches, TLBs, CPU counters, plus whatever the kernels and hypervisor have
+// bound — along with all histograms. Cache/TLB contents are preserved; only
+// statistics reset. VMExits is intentionally excluded (ResetVMExitCounts).
+func (m *Machine) ResetStats() { m.Obs.ResetAll() }

@@ -1,5 +1,7 @@
 package hw
 
+import "skybridge/internal/obs"
+
 // TLBTag identifies the translation context an entry belongs to. Real
 // Skylake hardware tags combined-mapping TLB entries with (VPID, PCID,
 // EPTP); we carry exactly those three components. Because entries are
@@ -103,3 +105,12 @@ func (t *TLB) Len() int { return len(t.entries) }
 
 // ResetStats zeroes the counters without invalidating entries.
 func (t *TLB) ResetStats() { t.Stats = TLBStats{} }
+
+// BindObs registers this TLB's counters with the registry under
+// "<prefix>.lookups" etc. (e.g. prefix "cpu0.ITLB").
+func (t *TLB) BindObs(r *obs.Registry, prefix string) {
+	r.Bind(prefix+".lookups", &t.Stats.Lookups)
+	r.Bind(prefix+".hits", &t.Stats.Hits)
+	r.Bind(prefix+".misses", &t.Stats.Misses)
+	r.Bind(prefix+".flushes", &t.Stats.Flushes)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"skybridge/internal/hw"
+	"skybridge/internal/obs"
 	"skybridge/internal/sim"
 )
 
@@ -250,6 +251,7 @@ func (e *Env) callInternal(ep *Endpoint, req Msg, replyBuf hw.VA, timeout uint64
 	e.enter()
 	k.IPCCalls++
 	ep.Calls++
+	span := cpu.Trace.Begin(cpu.Clock, "ipc.call", "mk")
 
 	ctx := &callCtx{req: req, client: e.T, clientP: e.P, replyBuf: replyBuf}
 
@@ -337,6 +339,7 @@ func (e *Env) callInternal(ep *Endpoint, req Msg, replyBuf hw.VA, timeout uint64
 	if ctx.err != nil {
 		// Timed out: the kernel aborts the call; return to user.
 		k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
+		cpu.Trace.End(span, cpu.Clock, obs.U("timeout", 1))
 		return Msg{}, ctx.err
 	}
 	if !ctx.fastReply {
@@ -380,7 +383,16 @@ func (e *Env) callInternal(ep *Endpoint, req Msg, replyBuf hw.VA, timeout uint64
 		}
 		reply.Buf = replyBuf
 	}
+	cpu.Trace.End(span, cpu.Clock,
+		obs.U("fast", b2u(ctx.fastCall)), obs.U("cross", b2u(ctx.crossCall)))
 	return reply, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Serve runs a server loop on the endpoint: park in Recv, run handler,
@@ -409,6 +421,7 @@ func (k *Kernel) Serve(env *Env, ep *Endpoint, recvBuf hw.VA, handler func(env *
 		if ctx.timedOut {
 			continue // client is gone; drop the request
 		}
+		span := cpu.Trace.Begin(cpu.Clock, "ipc.serve", "mk")
 
 		// Server-side receive path.
 		if ctx.fastCall {
@@ -465,6 +478,7 @@ func (k *Kernel) Serve(env *Env, ep *Endpoint, recvBuf hw.VA, handler func(env *
 		env.T.Checkpoint()
 		env.enter()
 		if ctx.timedOut {
+			cpu.Trace.End(span, cpu.Clock, obs.U("timeout", 1))
 			continue // timed out while we were handling it; drop the reply
 		}
 		ctx.reply = reply
@@ -515,6 +529,8 @@ func (k *Kernel) Serve(env *Env, ep *Endpoint, recvBuf hw.VA, handler func(env *
 			k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
 			k.Eng.Wake(ctx.client, cpu.Clock, ctx)
 		}
+		cpu.Trace.End(span, cpu.Clock,
+			obs.U("fast_reply", b2u(ctx.fastReply)), obs.U("cross", b2u(ctx.crossRep)))
 	}
 }
 

@@ -193,6 +193,9 @@ func New(cfg Config, eng *sim.Engine) *Kernel {
 		prof: profiles[cfg.Flavor],
 	}
 	k.curProc = make([]*Process, len(k.Mach.Cores))
+	k.Mach.Obs.Bind("mk.ipc_calls", &k.IPCCalls)
+	k.Mach.Obs.Bind("mk.fastpaths", &k.Fastpaths)
+	k.Mach.Obs.Bind("mk.slowpaths", &k.Slowpaths)
 
 	// Allocate kernel text and data footprint frames.
 	k.textPages = 4

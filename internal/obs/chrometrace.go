@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event JSON export (the "JSON Array Format" with the object
+// wrapper, understood by Perfetto and chrome://tracing).
+//
+// Mapping:
+//   - one traced machine  -> one trace process (pid)
+//   - one simulated core  -> one thread track (tid) inside that process
+//   - 1 trace timestamp unit -> 1 simulated cycle
+//
+// Metadata events name every process and track, so the UI shows e.g.
+// "table2.directcall" with tracks "core0".."core3". Events are emitted in
+// (pid, tid, program order), and json.Marshal sorts map keys, so the
+// output is byte-identical across identical runs.
+
+type chromeSpan struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+type chromeInstant struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   uint64            `json:"ts"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []any             `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData"`
+}
+
+func argMap(args []Arg) map[string]uint64 {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]uint64, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// WriteChromeTrace serializes every recorded event as Chrome trace-event
+// JSON. The output is deterministic for identical runs.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []any
+	for _, pt := range t.procs {
+		events = append(events, chromeMeta{
+			Name: "process_name", Ph: "M", Pid: pt.pid, Tid: 0,
+			Args: map[string]string{"name": pt.name},
+		})
+		for _, ct := range pt.cores {
+			events = append(events, chromeMeta{
+				Name: "thread_name", Ph: "M", Pid: ct.pid, Tid: ct.tid,
+				Args: map[string]string{"name": coreName(ct.tid)},
+			})
+		}
+	}
+	for _, pt := range t.procs {
+		for _, ct := range pt.cores {
+			for i := range ct.events {
+				ev := &ct.events[i]
+				switch ev.Ph {
+				case PhaseInstant:
+					events = append(events, chromeInstant{
+						Name: ev.Name, Cat: ev.Cat, Ph: "i", Ts: ev.Ts,
+						Pid: ct.pid, Tid: ct.tid, S: "t", Args: argMap(ev.Args),
+					})
+				default:
+					events = append(events, chromeSpan{
+						Name: ev.Name, Cat: ev.Cat, Ph: "X", Ts: ev.Ts, Dur: ev.Dur,
+						Pid: ct.pid, Tid: ct.tid, Args: argMap(ev.Args),
+					})
+				}
+			}
+		}
+	}
+	out := chromeTrace{
+		TraceEvents: events,
+		OtherData: map[string]string{
+			"clockDomain": "simulated-cycles",
+			"timeUnit":    "1 ts = 1 simulated cycle",
+		},
+	}
+	buf, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+func coreName(tid int) string { return "core" + strconv.Itoa(tid) }

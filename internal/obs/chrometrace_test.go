@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds a small fixed trace exercising every event kind.
+func goldenTracer() *Tracer {
+	tr := NewTracer()
+	m := tr.Process("table2.vmfunc", 2)
+	c0 := m.Core(0)
+	span := c0.Begin(100, "skybridge.call", "core")
+	c0.Complete(100, 24, "phase.trampoline", "core")
+	c0.Complete(124, 134, "phase.vmfunc", "core", U("slot", 3))
+	c0.Instant(258, "eptp.load_slot", "hv", U("server", 1), U("slot", 3))
+	c0.End(span, 496, U("server", 1))
+	m.Core(1).Complete(40, 186, "WriteCR3", "hw", U("pcid", 7))
+	tr.Process("fig7.echo", 1).Core(0).Instant(12, "IPI", "hw", U("to", 1))
+	return tr
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrometrace_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (run with -update to regenerate)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.OtherData["clockDomain"] != "simulated-cycles" {
+		t.Errorf("clockDomain = %q", doc.OtherData["clockDomain"])
+	}
+	// 3 metadata (2 process names would be 2 + 3 thread names) + 6 events.
+	var meta, spans, instants int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			meta++
+			args, ok := ev["args"].(map[string]any)
+			if !ok || args["name"] == "" {
+				t.Errorf("metadata event missing name args: %v", ev)
+			}
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event missing dur: %v", ev)
+			}
+		case "i":
+			instants++
+			if s, _ := ev["s"].(string); s != "t" {
+				t.Errorf("instant scope = %q, want t", s)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if meta != 5 || spans != 4 || instants != 2 {
+		t.Errorf("meta/spans/instants = %d/%d/%d, want 5/4/2", meta, spans, instants)
+	}
+	// Determinism: a second serialization of an identical tracer is
+	// byte-identical.
+	var buf2 bytes.Buffer
+	if err := goldenTracer().WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteChromeTrace not deterministic")
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import "testing"
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	h := NewHistogram()
+	// Values below histSub (16) land in unit buckets: quantiles are exact.
+	for v := uint64(1); v <= 10; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 10 || h.Sum() != 55 || h.Max() != 10 {
+		t.Fatalf("count/sum/max = %d/%d/%d, want 10/55/10", h.Count(), h.Sum(), h.Max())
+	}
+	if got := h.Mean(); got != 5.5 {
+		t.Errorf("mean = %v, want 5.5", got)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := h.Quantile(0.9); got != 9 {
+		t.Errorf("p90 = %d, want 9", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Errorf("p100 = %d, want exact max 10", got)
+	}
+}
+
+func TestHistogramUniformDistribution(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	// Quantiles report the bucket lower bound, so they may under-report by
+	// one sub-bucket: at most 1/16 = 6.25% relative error below the true
+	// value, and never above it.
+	check := func(q float64, want uint64) {
+		got := h.Quantile(q)
+		if got > want {
+			t.Errorf("q%.2f = %d, above true value %d", q, got, want)
+		}
+		if float64(got) < float64(want)*(1-1.0/histSub) {
+			t.Errorf("q%.2f = %d, more than %.2f%% below true value %d",
+				q, got, 100.0/histSub, want)
+		}
+	}
+	check(0.50, 500)
+	check(0.90, 900)
+	check(0.95, 950)
+	check(0.99, 990)
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("max quantile = %d, want 1000", got)
+	}
+	if got := h.Mean(); got != 500.5 {
+		t.Errorf("mean = %v, want 500.5", got)
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and the
+	// value just below it to the previous bucket.
+	for idx := 0; idx < numBuckets-1; idx++ {
+		lo := bucketLower(idx)
+		if got := bucketIndex(lo); got != idx {
+			t.Fatalf("bucketIndex(bucketLower(%d)=%d) = %d", idx, lo, got)
+		}
+		if lo > 0 {
+			if got := bucketIndex(lo - 1); got != idx-1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", lo-1, got, idx-1)
+			}
+		}
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram not zero-valued")
+	}
+	var nh *Histogram
+	nh.Observe(42) // must not panic
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Errorf("reset histogram retains state")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(1); v <= 8; v++ {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 8 || s.Max != 8 || s.P50 != 4 || s.Mean != 4.5 {
+		t.Errorf("summary = %+v", s)
+	}
+}

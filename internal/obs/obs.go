@@ -1,0 +1,45 @@
+// Package obs is the simulator-native observability layer: a span/event
+// tracer and a metrics registry, both keyed to the per-core simulated
+// cycle clock (hw.CPU.Clock) rather than wall time.
+//
+// The paper's entire argument is a cycle-level cost breakdown of the IPC
+// path (Table 2, §6); this package makes that breakdown visible inside one
+// call instead of only as end-of-run aggregates:
+//
+//   - Tracer / ProcTrace / CoreTrace record spans and instant events into
+//     per-CPU bounded buffers and export them as Chrome trace-event JSON
+//     (loadable in Perfetto or chrome://tracing), one track per simulated
+//     core. Timestamps are simulated cycles (1 trace "microsecond" = 1
+//     cycle), so a SkyBridge call renders as a ~396-unit span with its
+//     trampoline / VMFUNC / server / return phases nested inside.
+//   - Registry unifies the ad-hoc hardware and kernel counters (cache and
+//     TLB hit/miss statistics, VMFUNC and syscall counts, hypercalls, IPC
+//     path counters) behind one name space with a single ResetAll, and
+//     adds log-linear latency histograms reporting p50/p95/p99/max in
+//     cycles.
+//
+// Two properties are load-bearing for the benchmarks:
+//
+//   - Zero cost when disabled: every instrumentation site guards on a nil
+//     sink (cpu.Trace == nil), and recording never advances the simulated
+//     clock or touches the cache/TLB models, so enabling tracing cannot
+//     perturb measured cycle counts.
+//   - Determinism: events carry only simulated timestamps and are stored
+//     in program order (which the sim engine makes deterministic), and all
+//     JSON exports order keys deterministically, so two identical runs
+//     produce byte-identical trace and metrics files.
+//
+// obs deliberately imports nothing from the simulator packages; hw, hv,
+// mk, core, and bench all import obs and pass cycle values in as plain
+// uint64s.
+package obs
+
+// Arg is one key/value annotation attached to a trace event. Args are kept
+// as an ordered slice (not a map) so traces serialize deterministically.
+type Arg struct {
+	Key string
+	Val uint64
+}
+
+// U constructs an Arg (shorthand for instrumentation sites).
+func U(key string, val uint64) Arg { return Arg{Key: key, Val: val} }

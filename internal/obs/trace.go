@@ -1,0 +1,179 @@
+package obs
+
+// Event phases (a subset of the Chrome trace-event phases).
+const (
+	// PhaseSpan is a complete event: a named interval [Ts, Ts+Dur).
+	PhaseSpan byte = 'X'
+	// PhaseInstant is a point event at Ts.
+	PhaseInstant byte = 'i'
+)
+
+// Event is one recorded trace event. Ts and Dur are simulated cycles.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   byte
+	Ts   uint64
+	Dur  uint64
+	Args []Arg
+}
+
+// SpanID identifies an open span inside one CoreTrace. The zero value of a
+// dropped or disabled span is NoSpan; End(NoSpan, ...) is a no-op, so
+// instrumentation sites never need to branch on buffer state.
+type SpanID int
+
+// NoSpan is the SpanID returned when a span could not be recorded (buffer
+// full or tracing disabled).
+const NoSpan SpanID = -1
+
+// DefaultEventCap is the per-core event-buffer capacity used when a Tracer
+// does not override it.
+const DefaultEventCap = 1 << 18
+
+// CoreTrace is the per-CPU event buffer: one track (pid, tid) in the
+// exported trace. It is bounded: once capacity is reached new events are
+// dropped and counted rather than overwriting older ones, which keeps open
+// SpanIDs stable and keeps the drop behaviour deterministic.
+type CoreTrace struct {
+	pid, tid int
+	events   []Event
+	capacity int
+
+	// Dropped counts events discarded because the buffer was full.
+	Dropped uint64
+}
+
+// Instant records a point event at cycle ts.
+func (ct *CoreTrace) Instant(ts uint64, name, cat string, args ...Arg) {
+	if ct == nil {
+		return
+	}
+	ct.append(Event{Name: name, Cat: cat, Ph: PhaseInstant, Ts: ts, Args: args})
+}
+
+// Complete records a span whose duration is already known (e.g. a fixed-
+// cost instruction such as VMFUNC): [ts, ts+dur).
+func (ct *CoreTrace) Complete(ts, dur uint64, name, cat string, args ...Arg) {
+	if ct == nil {
+		return
+	}
+	ct.append(Event{Name: name, Cat: cat, Ph: PhaseSpan, Ts: ts, Dur: dur, Args: args})
+}
+
+// Begin opens a span at cycle ts and returns its ID for End. Returns
+// NoSpan when the buffer is full.
+func (ct *CoreTrace) Begin(ts uint64, name, cat string) SpanID {
+	if ct == nil {
+		return NoSpan
+	}
+	if len(ct.events) >= ct.capacity {
+		ct.Dropped++
+		return NoSpan
+	}
+	ct.events = append(ct.events, Event{Name: name, Cat: cat, Ph: PhaseSpan, Ts: ts})
+	return SpanID(len(ct.events) - 1)
+}
+
+// End closes a span opened by Begin at cycle ts, attaching any args. A
+// NoSpan id is ignored.
+func (ct *CoreTrace) End(id SpanID, ts uint64, args ...Arg) {
+	if ct == nil || id == NoSpan {
+		return
+	}
+	ev := &ct.events[id]
+	if ts > ev.Ts {
+		ev.Dur = ts - ev.Ts
+	}
+	ev.Args = append(ev.Args, args...)
+}
+
+// Events returns the recorded events in program order.
+func (ct *CoreTrace) Events() []Event { return ct.events }
+
+// Len returns the number of recorded events.
+func (ct *CoreTrace) Len() int {
+	if ct == nil {
+		return 0
+	}
+	return len(ct.events)
+}
+
+func (ct *CoreTrace) append(ev Event) {
+	if len(ct.events) >= ct.capacity {
+		ct.Dropped++
+		return
+	}
+	ct.events = append(ct.events, ev)
+}
+
+// ProcTrace is one traced machine (a Chrome trace "process"): a named
+// group of per-core tracks. Benchmarks that assemble several simulated
+// machines in one run give each its own ProcTrace, so their events do not
+// interleave on shared tracks.
+type ProcTrace struct {
+	pid   int
+	name  string
+	cores []*CoreTrace
+}
+
+// Core returns the track for core i.
+func (pt *ProcTrace) Core(i int) *CoreTrace { return pt.cores[i] }
+
+// Cores returns the number of tracks.
+func (pt *ProcTrace) Cores() int { return len(pt.cores) }
+
+// Name returns the process label.
+func (pt *ProcTrace) Name() string { return pt.name }
+
+// Tracer owns all trace state for one run: a sequence of ProcTraces, each
+// with per-core bounded event buffers.
+type Tracer struct {
+	// EventCap is the per-core buffer capacity applied to processes created
+	// after it is set (default DefaultEventCap).
+	EventCap int
+
+	procs []*ProcTrace
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Process creates the next traced process with ncores per-core tracks.
+func (t *Tracer) Process(name string, ncores int) *ProcTrace {
+	capacity := t.EventCap
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	pt := &ProcTrace{pid: len(t.procs), name: name}
+	for i := 0; i < ncores; i++ {
+		pt.cores = append(pt.cores, &CoreTrace{pid: pt.pid, tid: i, capacity: capacity})
+	}
+	t.procs = append(t.procs, pt)
+	return pt
+}
+
+// Processes returns the traced processes in creation order.
+func (t *Tracer) Processes() []*ProcTrace { return t.procs }
+
+// TotalEvents returns the number of recorded events across all tracks.
+func (t *Tracer) TotalEvents() int {
+	n := 0
+	for _, pt := range t.procs {
+		for _, ct := range pt.cores {
+			n += len(ct.events)
+		}
+	}
+	return n
+}
+
+// TotalDropped returns the number of dropped events across all tracks.
+func (t *Tracer) TotalDropped() uint64 {
+	var n uint64
+	for _, pt := range t.procs {
+		for _, ct := range pt.cores {
+			n += ct.Dropped
+		}
+	}
+	return n
+}
