@@ -23,20 +23,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"skybridge/internal/bench"
-	"skybridge/internal/mk"
+	"skybridge/internal/hw"
+	"skybridge/internal/isa"
 	"skybridge/internal/obs"
 )
 
-// experimentNames is the authoritative list of experiment selectors.
-var experimentNames = []string{
-	"table1", "table2", "table4", "table5", "table6",
-	"fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
-	"ablations",
-}
+// experimentNames is the authoritative list of experiment selectors, in
+// catalog order.
+var experimentNames = bench.ExperimentNames()
 
 // selectExperiments parses the -run list into a selection set. Unknown
 // names are an error (previously they were silently ignored when mixed
@@ -90,8 +91,52 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON to this file")
 		metricsOut = flag.String("metrics", "", "write machine-readable experiment records (JSON) to this file")
+
+		jobs      = flag.Int("j", 1, "run experiments on N parallel workers (output stays in declaration order, byte-identical for any N)")
+		hostCache = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
+		hostBench = flag.String("hostbench", "", "time the suite with caches off/on and parallel, writing BENCH_host.json here")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	flag.Parse()
+
+	switch *hostCache {
+	case "on":
+		hw.SetHostFastPaths(true)
+		isa.SetDecodeCache(true)
+	case "off":
+		hw.SetHostFastPaths(false)
+		isa.SetDecodeCache(false)
+	default:
+		fmt.Fprintf(os.Stderr, "skybench: -hostcache must be on or off, got %q\n", *hostCache)
+		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	sel, err := selectExperiments(*runList)
 	if err != nil {
@@ -100,67 +145,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	opts := bench.Options{
+		Records: *records, Ops: *ops, KVOps: *kvops,
+		Clients: *clients, OpsPerKind: *opsKind, Preload: *preload,
+		Scale: *scale,
+	}
+
+	if *hostBench != "" {
+		if err := runHostBench(*hostBench, sel, opts, *jobs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	var tracer *obs.Tracer
 	if *traceOut != "" {
 		tracer = obs.NewTracer()
 	}
 	s := bench.NewSession(tracer)
-
-	if sel["table2"] {
-		fmt.Println(s.Table2().Render())
-	}
-	if sel["fig7"] {
-		fmt.Println(s.Figure7().Render())
-	}
-	if sel["table1"] {
-		fmt.Println(s.Table1().Render())
-	}
-	if sel["fig2"] {
-		fmt.Println(s.Figure2(*kvops).Render())
-	}
-	if sel["fig8"] {
-		fmt.Println(s.Figure8(*kvops).Render())
-	}
-	if sel["table4"] {
-		for _, fl := range []mk.Flavor{mk.SeL4, mk.Fiasco, mk.Zircon} {
-			r, err := s.Table4(bench.Table4Config{
-				Flavor: fl, Clients: *clients, OpsPerKind: *opsKind, Preload: *preload,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(r.Render())
-		}
-	}
-	figFor := map[string]mk.Flavor{"fig9": mk.SeL4, "fig10": mk.Fiasco, "fig11": mk.Zircon}
-	for _, name := range []string{"fig9", "fig10", "fig11"} {
-		if !sel[name] {
-			continue
-		}
-		r, err := s.Figure9to11(bench.YCSBConfig{
-			Flavor: figFor[name], Records: *records, Ops: *ops,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(r.Render())
-	}
-	if sel["table5"] {
-		r, err := s.Table5(*records, *ops)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(r.Render())
-	}
-	if sel["table6"] {
-		r, err := s.Table6(*scale)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(r.Render())
-	}
-	if sel["ablations"] {
-		fmt.Println(bench.RenderAblations(s.Ablations()))
+	if err := bench.RunAll(sel, opts, *jobs, s, os.Stdout); err != nil {
+		fatal(err)
 	}
 
 	if *traceOut != "" {
@@ -176,6 +180,46 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runHostBench times the selected suite three ways — serial with host
+// caches off, serial with caches on, and parallel with caches on — and
+// writes the result as BENCH_host.json. Simulated results are identical in
+// all three (that is the whole point of the host fast paths); only host
+// wall-clock differs.
+func runHostBench(path string, sel map[string]bool, opts bench.Options, jobs int) error {
+	if jobs <= 1 {
+		jobs = runtime.NumCPU()
+	}
+	res := bench.HostBenchResult{
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Jobs:       float64(jobs),
+	}
+	for name := range sel {
+		res.Experiments = append(res.Experiments, name)
+	}
+	sort.Strings(res.Experiments)
+
+	run := func(cachesOn bool, j int) (float64, error) {
+		hw.SetHostFastPaths(cachesOn)
+		isa.SetDecodeCache(cachesOn)
+		start := time.Now()
+		err := bench.RunAll(sel, opts, j, bench.NewSession(nil), io.Discard)
+		return time.Since(start).Seconds(), err
+	}
+	var err error
+	if res.SerialCachesOffSec, err = run(false, 1); err != nil {
+		return err
+	}
+	if res.SerialCachesOnSec, err = run(true, 1); err != nil {
+		return err
+	}
+	if res.ParallelSec, err = run(true, jobs); err != nil {
+		return err
+	}
+	return writeFile(path, func(w io.Writer) error { return bench.WriteHostBench(w, res) })
 }
 
 // writeFile creates path and streams write into it.

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// HostBenchResult records host wall-clock measurements of the experiment
+// suite — the quantity the host-side fast paths optimize. Simulated cycle
+// results are byte-identical across all four cells by construction; only
+// the wall-clock seconds differ.
+type HostBenchResult struct {
+	// Host environment the numbers were taken on.
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+
+	// Experiments is the selector list the timings cover.
+	Experiments []string `json:"experiments"`
+
+	// Serial wall-clock, host caches off vs. on (-hostcache, -j 1).
+	SerialCachesOffSec float64 `json:"serial_caches_off_sec"`
+	SerialCachesOnSec  float64 `json:"serial_caches_on_sec"`
+	// CacheSpeedup = off / on.
+	CacheSpeedup float64 `json:"cache_speedup"`
+
+	// Parallel wall-clock with caches on, and the worker count used.
+	Jobs            float64 `json:"jobs"`
+	ParallelSec     float64 `json:"parallel_sec"`
+	ParallelSpeedup float64 `json:"parallel_speedup"` // serial-on / parallel
+}
+
+// WriteHostBench serializes r as the BENCH_host.json document.
+func WriteHostBench(w io.Writer, r HostBenchResult) error {
+	if r.SerialCachesOnSec > 0 {
+		r.CacheSpeedup = r.SerialCachesOffSec / r.SerialCachesOnSec
+	}
+	if r.ParallelSec > 0 {
+		r.ParallelSpeedup = r.SerialCachesOnSec / r.ParallelSec
+	}
+	buf, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"skybridge/internal/mk"
+	"skybridge/internal/obs"
+)
+
+// Options carries the paper-scale knobs of the experiment catalog (the
+// skybench flags).
+type Options struct {
+	Records    int // YCSB records per client
+	Ops        int // YCSB operations per client thread
+	KVOps      int // KV-store operations per configuration
+	Clients    int // SQLite clients (Table 4)
+	OpsPerKind int // SQLite ops per kind per client (Table 4)
+	Preload    int // SQLite preloaded rows per client (Table 4)
+	Scale      int // Table 6 corpus scale divisor
+}
+
+// Experiment is one independently runnable unit of the evaluation: it
+// builds its own worlds inside the Session it is handed, so units never
+// share simulated state and can run on parallel workers. Units sharing a
+// Name are selected together (table4 has one unit per flavor); Label is
+// unique within the catalog.
+type Experiment struct {
+	Name  string
+	Label string
+	Run   func(s *Session, o Options) (string, error)
+}
+
+// Catalog returns the experiment units in declaration order — the order
+// skybench has always printed its output in, which RunAll preserves for
+// any worker count.
+func Catalog() []Experiment {
+	units := []Experiment{
+		{Name: "table2", Label: "table2", Run: func(s *Session, o Options) (string, error) {
+			return s.Table2().Render(), nil
+		}},
+		{Name: "fig7", Label: "fig7", Run: func(s *Session, o Options) (string, error) {
+			return s.Figure7().Render(), nil
+		}},
+		{Name: "table1", Label: "table1", Run: func(s *Session, o Options) (string, error) {
+			return s.Table1().Render(), nil
+		}},
+		{Name: "fig2", Label: "fig2", Run: func(s *Session, o Options) (string, error) {
+			return s.Figure2(o.KVOps).Render(), nil
+		}},
+		{Name: "fig8", Label: "fig8", Run: func(s *Session, o Options) (string, error) {
+			return s.Figure8(o.KVOps).Render(), nil
+		}},
+	}
+	for _, fl := range []mk.Flavor{mk.SeL4, mk.Fiasco, mk.Zircon} {
+		fl := fl
+		units = append(units, Experiment{
+			Name: "table4", Label: "table4/" + fl.String(),
+			Run: func(s *Session, o Options) (string, error) {
+				r, err := s.Table4(Table4Config{
+					Flavor: fl, Clients: o.Clients, OpsPerKind: o.OpsPerKind, Preload: o.Preload,
+				})
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		})
+	}
+	for _, f := range []struct {
+		name   string
+		flavor mk.Flavor
+	}{{"fig9", mk.SeL4}, {"fig10", mk.Fiasco}, {"fig11", mk.Zircon}} {
+		f := f
+		units = append(units, Experiment{
+			Name: f.name, Label: f.name,
+			Run: func(s *Session, o Options) (string, error) {
+				r, err := s.Figure9to11(YCSBConfig{Flavor: f.flavor, Records: o.Records, Ops: o.Ops})
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		})
+	}
+	units = append(units,
+		Experiment{Name: "table5", Label: "table5", Run: func(s *Session, o Options) (string, error) {
+			r, err := s.Table5(o.Records, o.Ops)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		Experiment{Name: "table6", Label: "table6", Run: func(s *Session, o Options) (string, error) {
+			r, err := s.Table6(o.Scale)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		Experiment{Name: "ablations", Label: "ablations", Run: func(s *Session, o Options) (string, error) {
+			return RenderAblations(s.Ablations()), nil
+		}},
+	)
+	return units
+}
+
+// ExperimentNames returns the distinct selector names in catalog order.
+func ExperimentNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, u := range Catalog() {
+		if !seen[u.Name] {
+			seen[u.Name] = true
+			names = append(names, u.Name)
+		}
+	}
+	return names
+}
+
+// Merge folds a completed sub-session into s: records append in call
+// order, histograms merge exactly (obs.Histogram.Merge), and the
+// sub-tracer's processes are adopted with continued pid numbering. Merging
+// per-experiment sessions in declaration order therefore reproduces a
+// serial single-session run byte-for-byte.
+func (s *Session) Merge(sub *Session) {
+	s.recs = append(s.recs, sub.recs...)
+	s.Reg.MergeHistograms(sub.Reg)
+	if s.Trace != nil && sub.Trace != nil {
+		s.Trace.Adopt(sub.Trace)
+	}
+}
+
+// RunAll runs the selected catalog units (sel nil selects everything) on a
+// pool of jobs workers, each unit in its own sub-Session — own worlds, own
+// machines, own metric registry, own sub-tracer when master traces — and
+// merges results into master strictly in declaration order, streaming each
+// unit's rendered output to out (which may be nil) as soon as all earlier
+// units have been emitted.
+//
+// Attribution is per-unit, never per-worker, so the merged output is
+// byte-identical for every worker count, including 1.
+func RunAll(sel map[string]bool, o Options, jobs int, master *Session, out io.Writer) error {
+	var units []Experiment
+	for _, u := range Catalog() {
+		if sel == nil || sel[u.Name] {
+			units = append(units, u)
+		}
+	}
+	if len(units) == 0 {
+		return fmt.Errorf("bench: no experiments selected")
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(units) {
+		jobs = len(units)
+	}
+
+	type result struct {
+		out  string
+		sub  *Session
+		err  error
+		done chan struct{}
+	}
+	results := make([]result, len(units))
+	for i := range results {
+		results[i].done = make(chan struct{})
+	}
+
+	idxCh := make(chan int)
+	go func() {
+		for i := range units {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				var subTrace *obs.Tracer
+				if master.Trace != nil {
+					subTrace = obs.NewTracer()
+					subTrace.EventCap = master.Trace.EventCap
+				}
+				sub := NewSession(subTrace)
+				text, err := units[i].Run(sub, o)
+				results[i].out, results[i].sub, results[i].err = text, sub, err
+				close(results[i].done)
+			}
+		}()
+	}
+
+	var firstErr error
+	for i := range units {
+		<-results[i].done
+		if firstErr != nil {
+			continue
+		}
+		if results[i].err != nil {
+			firstErr = fmt.Errorf("%s: %w", units[i].Label, results[i].err)
+			continue
+		}
+		master.Merge(results[i].sub)
+		if out != nil {
+			fmt.Fprintln(out, results[i].out)
+		}
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkRunKV measures one end-to-end KV-store experiment (world boot,
+// simulated clients, metric collection) — the unit the parallel runner
+// schedules.
+func BenchmarkRunKV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSession(nil)
+		s.RunKV(TransportSkyBridge, 16, 64)
+	}
+}
+
+// BenchmarkRunAllSmall measures the runner end to end on a small
+// selection, serially.
+func BenchmarkRunAllSmall(b *testing.B) {
+	sel := map[string]bool{"table2": true}
+	for i := 0; i < b.N; i++ {
+		if err := RunAll(sel, testOpts, 1, NewSession(nil), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

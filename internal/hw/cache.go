@@ -22,26 +22,34 @@ type CacheStats struct {
 	Misses   uint64
 }
 
-type cacheLine struct {
-	tag   uint64
-	valid bool
-	lru   uint64
-}
-
 // Cache is one level of a set-associative cache with LRU replacement,
 // indexed by host physical address at 64-byte line granularity. Levels are
 // chained via next; a miss at the last level charges memLatency.
+//
+// Host-side layout: each way is a 16-byte {tag, lru} pair (tag = line
+// address + 1, 0 = invalid) in one flat [nsets*assoc] array, so the
+// dominant case — a hit in way slot 0 — reads the tag and writes the LRU
+// stamp on the same host cache line. On a hit the line is swapped to way
+// slot 0 of its set, so repeat accesses match on the first compare.
+// Neither change is observable in the simulation: which *line* is evicted
+// is decided by the unique LRU stamps, not by slot position, and the
+// charged costs and stats are identical. Access is the hottest function in
+// the whole simulator.
 type Cache struct {
-	cfg CacheConfig
-	// lines is a flattened [nsets][ways] array (flat for speed: Access is
-	// the hottest function in the whole simulator).
-	lines      []cacheLine
-	ways       int
+	cfg        CacheConfig
+	ways       []cacheWay // flattened [nsets][assoc]
+	assoc      int
 	setMask    uint64
 	next       *Cache
 	memLatency uint64
 	clock      uint64 // monotonic counter for LRU ordering
 	Stats      CacheStats
+}
+
+// cacheWay is one way slot: the stored tag (line address + 1, 0 invalid)
+// and its LRU stamp.
+type cacheWay struct {
+	tag, lru uint64
 }
 
 // NewCache builds a cache level. next may be nil, in which case a miss
@@ -58,8 +66,8 @@ func NewCache(cfg CacheConfig, next *Cache, memLatency uint64) *Cache {
 	}
 	return &Cache{
 		cfg:        cfg,
-		lines:      make([]cacheLine, lines),
-		ways:       cfg.Ways,
+		ways:       make([]cacheWay, lines),
+		assoc:      cfg.Ways,
 		setMask:    uint64(nsets - 1),
 		next:       next,
 		memLatency: memLatency,
@@ -75,14 +83,24 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 func (c *Cache) Access(h HPA, write bool) uint64 {
 	c.clock++
 	c.Stats.Accesses++
-	lineAddr := uint64(h) >> LineShift
-	base := int(lineAddr&c.setMask) * c.ways
-	set := c.lines[base : base+c.ways]
+	key := uint64(h)>>LineShift + 1 // stored tag: line address + 1, 0 = invalid
+	base := int((key-1)&c.setMask) * c.assoc
+	set := c.ways[base : base+c.assoc]
 
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
+	// Way slot 0 holds the set's MRU line (swapped there on every hit), so
+	// this first compare serves the overwhelming majority of accesses.
+	if set[0].tag == key {
+		c.Stats.Hits++
+		set[0].lru = c.clock
+		return c.cfg.Latency
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i].tag == key {
 			c.Stats.Hits++
 			set[i].lru = c.clock
+			// Keep the MRU line in slot 0 (pure host-side reordering; see
+			// type comment).
+			set[i], set[0] = set[0], set[i]
 			return c.cfg.Latency
 		}
 	}
@@ -93,10 +111,10 @@ func (c *Cache) Access(h HPA, write bool) uint64 {
 	} else {
 		cost += c.memLatency
 	}
-	// Fill: evict the LRU way.
+	// Fill: use a free way if present, else evict the LRU way.
 	victim := 0
 	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
+		if set[i].tag == 0 {
 			victim = i
 			break
 		}
@@ -104,18 +122,17 @@ func (c *Cache) Access(h HPA, write bool) uint64 {
 			victim = i
 		}
 	}
-	set[victim] = cacheLine{tag: lineAddr, valid: true, lru: c.clock}
+	set[victim] = cacheWay{tag: key, lru: c.clock}
 	return cost
 }
 
 // Contains reports whether the line holding h is currently cached at this
 // level, without touching LRU state or counters.
 func (c *Cache) Contains(h HPA) bool {
-	lineAddr := uint64(h) >> LineShift
-	base := int(lineAddr&c.setMask) * c.ways
-	set := c.lines[base : base+c.ways]
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
+	key := uint64(h)>>LineShift + 1
+	base := int((key-1)&c.setMask) * c.assoc
+	for _, w := range c.ways[base : base+c.assoc] {
+		if w.tag == key {
 			return true
 		}
 	}
@@ -125,9 +142,7 @@ func (c *Cache) Contains(h HPA) bool {
 // Flush invalidates every line (used only by tests and ablations; SkyBridge
 // itself never flushes caches).
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = cacheLine{}
-	}
+	clear(c.ways)
 }
 
 // ResetStats zeroes the counters without touching cache contents, so an

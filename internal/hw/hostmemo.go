@@ -1,0 +1,188 @@
+package hw
+
+// Host-side walk memoization.
+//
+// A TLB miss costs the simulator a full two-dimensional page walk: up to
+// four guest page-table entry reads, each resolved through a four-level
+// EPT walk, every entry read charged through the cache model and backed by
+// real PhysMem reads. The *simulated* cost of that walk is the point — but
+// the host-side work of re-deriving which entries get touched is pure
+// overhead, because the walk's outcome is a deterministic function of
+// (CR3 root, EPTP, virtual page) and the contents of the page-table and
+// EPT frames it reads.
+//
+// hostMemo caches exactly that function. An entry records the walk's
+// outcome (page frame, guest leaf flags, EPT leaf permissions) plus the
+// exact sequence of cache-charged slots the walk touched. On a hit the
+// sequence is REPLAYED through the live cache model — same slots, same
+// order — so cache state, hit/miss statistics, and charged cycles evolve
+// bit-for-bit identically to a re-executed walk. Nothing about the
+// simulation is approximated; only the host-side re-derivation is skipped.
+//
+// Invalidation (see also DESIGN.md):
+//   - any PhysMem write into a frame a memoized walk read from — guest PT
+//     frames and EPT table frames — invalidates the whole memo (PhysMem
+//     dirty-watch, rebuilt lazily by subsequent walks). This covers guest
+//     PTE edits, EPT edits (Map/RemapGPA/splits), and frame recycling
+//     (AllocFrame zeroing a previously freed frame).
+//   - any TLB flush (FlushAll or FlushTag) invalidates the whole memo,
+//     via the TLB onFlush hook — so an explicit shootdown can never be
+//     survived by a stale memo entry.
+//   - guest and EPT *permissions* are not trusted from the memo blindly:
+//     every hit re-checks the stored leaf flags against the current
+//     access kind and CPU mode, and falls back to a real (and really
+//     charged) walk when they would fault, so fault delivery is always
+//     authoritative.
+//
+// A CR3 load deliberately does NOT invalidate. The memo is not
+// architectural TLB state; it is a memoized pure function, and a root's
+// entries stay valid for exactly as long as the frames they were derived
+// from are unmodified — which the dirty-watch enforces regardless of which
+// root is live. (Re-building a page table at a recycled root frame always
+// writes or zeroes that watched frame first.) Dropping per-root state on
+// every CR3 write was measured to thrash the memo to zero hits on kernels
+// that switch CR3 per IPC (KPTI + context switch).
+//
+// Workloads whose kernels edit page tables or flush TLBs on every
+// operation (temporary-mapping IPC) wipe the memo faster than it can pay
+// off; storing there is pure overhead. invalidateAll therefore applies an
+// exponential store cooldown whenever the memo was wiped without having
+// served a single hit, and any hit resets it — phases that can use the
+// memo do, phases that cannot stop paying for it. The cooldown changes
+// only host work, never simulated results.
+//
+// The memo is machine-wide (walk outcomes are core-independent; replay
+// charges go through the *requesting* core's caches) and purely host-side:
+// its counters are deliberately NOT bound into the obs registry, so
+// metrics output is byte-identical whether the memo is on or off.
+
+// hostFastPaths gates construction of host-side caches in new machines.
+// It exists as an escape hatch (skybench -hostcache=off) and for the
+// on/off equivalence tests.
+var hostFastPaths = true
+
+// SetHostFastPaths enables or disables host-side fast-path caches for
+// machines constructed afterwards. It returns the previous setting.
+func SetHostFastPaths(on bool) bool {
+	prev := hostFastPaths
+	hostFastPaths = on
+	return prev
+}
+
+// HostFastPaths reports whether new machines get host-side caches.
+func HostFastPaths() bool { return hostFastPaths }
+
+// HostMemoStats counts host-side memo traffic. These are host diagnostics
+// only — never part of simulated metrics.
+type HostMemoStats struct {
+	Hits          uint64 // walks served by replay
+	Misses        uint64 // walks executed for real (and recorded)
+	PermFallbacks uint64 // hits rejected by perm re-check (real walk ran)
+	Invalidations uint64 // whole-memo drops (dirty frame or TLB flush)
+	StoreSkips    uint64 // walks not recorded while cooling down
+}
+
+// memoKey identifies a walk within one address-space root.
+type memoKey struct {
+	eptp HPA    // active EPT root (0 = no EPT)
+	vpn  uint64 // virtual page number
+}
+
+// memoCharge is one cache charge the walk performed: the slot's HPA and
+// whether it was an EPT entry read (which also bumps EPTWalkReads).
+type memoCharge struct {
+	slot    HPA
+	eptRead bool
+}
+
+// memoEntry is the recorded outcome of one successful walk.
+type memoEntry struct {
+	charges  []memoCharge
+	pageBase HPA
+	flags    PTFlags  // guest leaf flags (re-checked per hit)
+	eptLeaf  EPTFlags // data-page EPT leaf perms (re-checked per hit)
+}
+
+// hostMemo is the machine-wide walk memo.
+type hostMemo struct {
+	byRoot map[GPA]map[memoKey]*memoEntry
+	Stats  HostMemoStats
+
+	// Thrash guard: when invalidateAll wipes a memo that served zero hits
+	// since the last wipe, the next `skipBudget` stores are skipped, and
+	// the budget doubles on each fruitless wipe (capped). Hits reset it.
+	hitsSinceInval uint64
+	skipBudget     uint64
+	penalty        uint64
+}
+
+// memoCooldownMax caps the exponential store-skip budget.
+const memoCooldownMax = 8192
+
+// noteHit records a served hit (resets the thrash guard's escalation).
+func (m *hostMemo) noteHit() {
+	m.Stats.Hits++
+	m.hitsSinceInval++
+}
+
+// shouldStore reports whether the current walk should be recorded, paying
+// down the cooldown budget when not.
+func (m *hostMemo) shouldStore() bool {
+	if m.skipBudget > 0 {
+		m.skipBudget--
+		m.Stats.StoreSkips++
+		return false
+	}
+	return true
+}
+
+func newHostMemo() *hostMemo {
+	return &hostMemo{byRoot: make(map[GPA]map[memoKey]*memoEntry)}
+}
+
+// lookup returns the memo entry for (root, eptp, vpn), or nil.
+func (m *hostMemo) lookup(root GPA, eptp HPA, vpn uint64) *memoEntry {
+	return m.byRoot[root][memoKey{eptp: eptp, vpn: vpn}]
+}
+
+// store records a successful walk.
+func (m *hostMemo) store(root GPA, eptp HPA, vpn uint64, e *memoEntry) {
+	inner := m.byRoot[root]
+	if inner == nil {
+		inner = make(map[memoKey]*memoEntry)
+		m.byRoot[root] = inner
+	}
+	inner[memoKey{eptp: eptp, vpn: vpn}] = e
+}
+
+// invalidateAll drops every entry: a watched frame was written, a frame
+// was recycled, or a TLB was flushed. Fruitless wipes (no hits served
+// since the previous wipe) escalate the store cooldown.
+func (m *hostMemo) invalidateAll() {
+	if len(m.byRoot) == 0 {
+		return
+	}
+	m.Stats.Invalidations++
+	clear(m.byRoot)
+	if m.hitsSinceInval == 0 {
+		switch {
+		case m.penalty == 0:
+			m.penalty = 64
+		case m.penalty < memoCooldownMax:
+			m.penalty *= 2
+		}
+	} else {
+		m.penalty = 0
+	}
+	m.skipBudget = m.penalty
+	m.hitsSinceInval = 0
+}
+
+// entryCount returns the number of live entries (test helper).
+func (m *hostMemo) entryCount() int {
+	n := 0
+	for _, inner := range m.byRoot {
+		n += len(inner)
+	}
+	return n
+}

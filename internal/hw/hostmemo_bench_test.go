@@ -1,0 +1,69 @@
+package hw
+
+import "testing"
+
+// benchMachine builds a machine with a deliberately tiny DTLB so that
+// cycling over pages misses the TLB on every access, exposing the walk
+// path (memoized or not) rather than the TLB hit path.
+func benchMachine(b *testing.B, fastPaths bool) (*Machine, *CPU) {
+	b.Helper()
+	prev := SetHostFastPaths(fastPaths)
+	b.Cleanup(func() { SetHostFastPaths(prev) })
+	m := NewMachine(MachineConfig{Cores: 1, MemBytes: 1 << 26, DTLBEntries: 4})
+	cpu := m.Cores[0]
+	pt := NewPageTable(m.Mem)
+	cpu.CR3 = pt.Root
+	cpu.Mode = ModeUser
+	for i := 0; i < 16; i++ {
+		if err := pt.Map(VA(0x40_0000+i*PageSize), GPA(0x8000+i*PageSize), PTEUser|PTEWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m, cpu
+}
+
+// BenchmarkTranslateTLBHit measures the dominant fast path: a data access
+// whose translation is resident in the DTLB.
+func BenchmarkTranslateTLBHit(b *testing.B) {
+	_, cpu := benchMachine(b, true)
+	var buf [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cpu.ReadData(0x40_0000, buf[:], 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalkMemoHit measures a TLB-missing access served by the host
+// walk memo (16 pages cycled through a 4-entry TLB: every access walks).
+func BenchmarkWalkMemoHit(b *testing.B) {
+	m, cpu := benchMachine(b, true)
+	var buf [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := VA(0x40_0000 + (i%16)*PageSize)
+		if err := cpu.ReadData(va, buf[:], 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := m.HostMemoStats(); b.N > 64 && st.Hits == 0 {
+		b.Fatal("benchmark loop produced no memo hits")
+	}
+}
+
+// BenchmarkWalkNoMemo is the same TLB-missing access pattern with host
+// fast paths disabled: every walk re-derives the full two-dimensional
+// walk. The gap to BenchmarkWalkMemoHit is what the memo buys.
+func BenchmarkWalkNoMemo(b *testing.B) {
+	_, cpu := benchMachine(b, false)
+	var buf [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := VA(0x40_0000 + (i%16)*PageSize)
+		if err := cpu.ReadData(va, buf[:], 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

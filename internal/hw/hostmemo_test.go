@@ -1,0 +1,510 @@
+package hw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// withFastPaths forces the host fast-path toggle for the duration of a test
+// and restores the previous setting afterwards.
+func withFastPaths(t *testing.T, on bool) {
+	t.Helper()
+	prev := SetHostFastPaths(on)
+	t.Cleanup(func() { SetHostFastPaths(prev) })
+}
+
+// newMemoMachine builds a small machine (tiny DTLB so walks are easy to
+// force) with the walk memo enabled, plus a mapped scratch page table.
+func newMemoMachine(t *testing.T) (*Machine, *PageTable) {
+	t.Helper()
+	withFastPaths(t, true)
+	m := NewMachine(MachineConfig{Cores: 2, MemBytes: 1 << 26, DTLBEntries: 4})
+	if m.memo == nil {
+		t.Fatal("machine built without walk memo despite fast paths on")
+	}
+	pt := NewPageTable(m.Mem)
+	for _, cpu := range m.Cores {
+		cpu.CR3 = pt.Root
+	}
+	return m, pt
+}
+
+// TestWalkMemoHitAcrossCores: a walk on core 0 memoizes the translation;
+// core 1's cold TLB misses but the memo serves the walk, and the data read
+// through it is correct.
+func TestWalkMemoHitAcrossCores(t *testing.T) {
+	m, pt := newMemoMachine(t)
+	if err := pt.Map(0x40_0000, 0x8000, PTEUser|PTEWrite); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("memoized")
+	m.Mem.Write(0x8000, msg)
+
+	c0, c1 := m.Cores[0], m.Cores[1]
+	c0.Mode = ModeUser
+	c1.Mode = ModeUser
+	if err := c0.ReadData(0x40_0000, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := m.HostMemoStats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after first walk: %+v", st)
+	}
+	if m.HostMemoEntries() != 1 {
+		t.Fatalf("entries = %d, want 1", m.HostMemoEntries())
+	}
+
+	got := make([]byte, len(msg))
+	if err := c1.ReadData(0x40_0000, got, len(got)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q through memo, want %q", got, msg)
+	}
+	st = m.HostMemoStats()
+	if st.Hits != 1 {
+		t.Fatalf("core 1 walk not served by memo: %+v", st)
+	}
+	if c1.Counters.PageWalks != 1 {
+		t.Fatalf("memo hit must still count as a page walk, got %d", c1.Counters.PageWalks)
+	}
+}
+
+// TestWalkMemoStalePTEEdit: editing a guest PTE (remapping a VA to a new
+// frame) must invalidate the memo — a later walk of the same VA on a
+// TLB-cold core has to see the new frame, never the memoized one.
+func TestWalkMemoStalePTEEdit(t *testing.T) {
+	m, pt := newMemoMachine(t)
+	if err := pt.Map(0x40_0000, 0x8000, PTEUser|PTEWrite); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.Write(0x8000, []byte{0xAA})
+	m.Mem.Write(0x9000, []byte{0xBB})
+
+	c0, c1 := m.Cores[0], m.Cores[1]
+	c0.Mode = ModeUser
+	c1.Mode = ModeUser
+	var b [1]byte
+	if err := c0.ReadData(0x40_0000, b[:], 1); err != nil || b[0] != 0xAA {
+		t.Fatalf("before edit: %v %#x", err, b[0])
+	}
+
+	// Remap the VA to the 0x9000 frame. The PTE write lands in a watched
+	// page-table frame, so the memo must drop everything.
+	if err := pt.Map(0x40_0000, 0x9000, PTEUser|PTEWrite); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.HostMemoEntries(); n != 0 {
+		t.Fatalf("memo still holds %d entries after PTE edit", n)
+	}
+	if st := m.HostMemoStats(); st.Invalidations == 0 {
+		t.Fatalf("PTE edit did not count an invalidation: %+v", st)
+	}
+
+	// Core 1 never cached the old translation in its TLB, so a stale result
+	// here could only come from the memo.
+	if err := c1.ReadData(0x40_0000, b[:], 1); err != nil || b[0] != 0xBB {
+		t.Fatalf("after edit: err=%v got %#x, want 0xBB (stale memo hit?)", err, b[0])
+	}
+}
+
+// TestWalkMemoCR3Reload: CR3 reloads must never surface stale data. The
+// memo is keyed by root, so a reload to a different page table resolves
+// through that table's frames; reloading back may legitimately reuse the
+// memoized walk — but only until the underlying page-table frames change.
+func TestWalkMemoCR3Reload(t *testing.T) {
+	m, pt1 := newMemoMachine(t)
+	pt2 := NewPageTable(m.Mem)
+	if err := pt1.Map(0x40_0000, 0x8000, PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt2.Map(0x40_0000, 0x9000, PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem.Write(0x8000, []byte{0xA1})
+	m.Mem.Write(0x9000, []byte{0xB2})
+
+	c0 := m.Cores[0]
+	c0.Mode = ModeUser
+	var b [1]byte
+	if err := c0.ReadData(0x40_0000, b[:], 1); err != nil || b[0] != 0xA1 {
+		t.Fatalf("under pt1: err=%v got %#x", err, b[0])
+	}
+	if m.HostMemoEntries() != 1 {
+		t.Fatalf("entries = %d, want 1", m.HostMemoEntries())
+	}
+
+	// Reload CR3 with a different page table, on a fresh PCID so the TLB
+	// cannot answer: the same VA must resolve through pt2, never through the
+	// entry memoized under pt1's root.
+	c0.Mode = ModeKernel
+	if err := c0.WriteCR3(pt2.Root, 2); err != nil {
+		t.Fatal(err)
+	}
+	c0.Mode = ModeUser
+	if err := c0.ReadData(0x40_0000, b[:], 1); err != nil || b[0] != 0xB2 {
+		t.Fatalf("after CR3 switch: err=%v got %#x, want 0xB2 (stale memo hit?)", err, b[0])
+	}
+
+	// Switching back may reuse pt1's memoized walk — its frames are
+	// unchanged, so that is correct — and must serve the right data.
+	c0.Mode = ModeKernel
+	if err := c0.WriteCR3(pt1.Root, 3); err != nil {
+		t.Fatal(err)
+	}
+	c0.Mode = ModeUser
+	hits := m.HostMemoStats().Hits
+	if err := c0.ReadData(0x40_0000, b[:], 1); err != nil || b[0] != 0xA1 {
+		t.Fatalf("back on pt1: err=%v got %#x", err, b[0])
+	}
+	if m.HostMemoStats().Hits != hits+1 {
+		t.Fatalf("switch-back walk not served by memo: %+v", m.HostMemoStats())
+	}
+
+	// ...but only until pt1's frames change: after a PTE edit the reloaded
+	// root must see the new mapping.
+	if err := pt1.Map(0x40_0000, 0x9000, PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.HostMemoEntries(); n != 0 {
+		t.Fatalf("memo holds %d entries after PTE edit", n)
+	}
+	c0.Mode = ModeKernel
+	if err := c0.WriteCR3(pt1.Root, 4); err != nil {
+		t.Fatal(err)
+	}
+	c0.Mode = ModeUser
+	if err := c0.ReadData(0x40_0000, b[:], 1); err != nil || b[0] != 0xB2 {
+		t.Fatalf("after pt1 edit: err=%v got %#x, want 0xB2 (stale memo hit?)", err, b[0])
+	}
+}
+
+// TestWalkMemoThrashCooldown: wipes that never served a hit escalate an
+// exponential store cooldown (so thrashy phases stop paying store costs),
+// and a single served hit resets it.
+func TestWalkMemoThrashCooldown(t *testing.T) {
+	m := newHostMemo()
+	e := &memoEntry{}
+	want := uint64(64)
+	for i := 0; i < 3; i++ {
+		m.skipBudget = 0 // drain the pending cooldown so the store lands
+		m.store(1, 0, uint64(i), e)
+		m.invalidateAll()
+		if m.skipBudget != want {
+			t.Fatalf("fruitless wipe %d: skipBudget = %d, want %d", i, m.skipBudget, want)
+		}
+		want *= 2
+	}
+	if m.shouldStore() {
+		t.Fatal("store allowed during cooldown")
+	}
+	if m.Stats.StoreSkips == 0 {
+		t.Fatal("cooldown skip not counted")
+	}
+	// A served hit resets the escalation on the next wipe.
+	m.skipBudget = 0
+	m.store(1, 0, 99, e)
+	m.noteHit()
+	m.invalidateAll()
+	if m.skipBudget != 0 || m.penalty != 0 {
+		t.Fatalf("fruitful wipe kept cooldown: budget=%d penalty=%d", m.skipBudget, m.penalty)
+	}
+	// The escalation caps out instead of growing unbounded.
+	m.penalty = memoCooldownMax
+	m.store(1, 0, 7, e)
+	m.invalidateAll()
+	if m.skipBudget != memoCooldownMax {
+		t.Fatalf("budget exceeded cap: %d", m.skipBudget)
+	}
+}
+
+// TestWalkMemoTLBShootdown: an explicit TLB flush (the model's shootdown /
+// IPI invalidation primitive) must also drop the memo, machine-wide, so no
+// memoized walk can outlive an invalidation the OS requested.
+func TestWalkMemoTLBShootdown(t *testing.T) {
+	m, pt := newMemoMachine(t)
+	if err := pt.Map(0x40_0000, 0x8000, PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := m.Cores[0], m.Cores[1]
+	c0.Mode = ModeUser
+	c1.Mode = ModeUser
+	if err := c0.ReadData(0x40_0000, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.HostMemoEntries() != 1 {
+		t.Fatal("walk not memoized")
+	}
+	// A served hit on the other core (so the flush below is a "fruitful"
+	// wipe and does not arm the thrash cooldown).
+	if err := c1.ReadData(0x40_0000, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Shootdown arrives on the *other* core: any core's flush must kill the
+	// shared memo.
+	c1.DTLB.FlushAll()
+	if n := m.HostMemoEntries(); n != 0 {
+		t.Fatalf("memo survived a TLB shootdown with %d entries", n)
+	}
+	inval := m.HostMemoStats().Invalidations
+	if inval == 0 {
+		t.Fatal("shootdown did not count an invalidation")
+	}
+	// FlushTag must invalidate too. Flush core 0's TLB first (c0 still has
+	// the entry cached) so the next read walks and repopulates the memo.
+	c0.DTLB.FlushAll()
+	if err := c0.ReadData(0x40_0000, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.HostMemoEntries() == 0 {
+		t.Fatal("memo not repopulated")
+	}
+	inval = m.HostMemoStats().Invalidations
+	c0.DTLB.FlushTag(c0.tlbTag())
+	if m.HostMemoEntries() != 0 {
+		t.Fatal("memo survived a tagged TLB flush")
+	}
+	if m.HostMemoStats().Invalidations <= inval {
+		t.Fatal("tagged flush did not count an invalidation")
+	}
+}
+
+// TestWalkMemoEPTPermissionDowngrade: after an EPT permission downgrade the
+// next access must raise an EPT violation, not succeed from a memoized
+// walk recorded under the old permissions.
+func TestWalkMemoEPTPermissionDowngrade(t *testing.T) {
+	withFastPaths(t, true)
+	m := NewMachine(MachineConfig{Cores: 2, MemBytes: 1 << 26, DTLBEntries: 4})
+	cpu := m.Cores[0]
+	pt := NewPageTable(m.Mem)
+	cpu.CR3 = pt.Root
+	ept := NewEPT(m.Mem)
+	if err := ept.MapIdentityRange(0, 1, Page1GSize, EPTAll); err != nil {
+		t.Fatal(err)
+	}
+	vmcs := &VMCS{}
+	if err := vmcs.InstallEPTPList([]*EPT{ept}); err != nil {
+		t.Fatal(err)
+	}
+	cpu.NonRoot = true
+	cpu.VMCS = vmcs
+	cpu.SetEPT(ept)
+
+	if err := pt.Map(0x40_0000, 0x8000, PTEUser|PTEWrite); err != nil {
+		t.Fatal(err)
+	}
+	cpu.Mode = ModeUser
+	if err := cpu.WriteData(0x40_0000, []byte{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.HostMemoEntries() == 0 {
+		t.Fatal("walk not memoized")
+	}
+
+	// Downgrade the data frame to read-only in the EPT. The remap edits EPT
+	// table frames, which are watched, so the memo must drop.
+	if _, err := ept.RemapGPA(0x8000, 0x8000, EPTRead); err != nil {
+		t.Fatal(err)
+	}
+	var got *VMExit
+	m.SetExitHandler(func(c *CPU, e *VMExit) error {
+		got = e
+		return e
+	})
+	// A TLB-cold core would walk; force this core cold the hard way by
+	// touching enough other pages to evict the entry (capacity 4).
+	for i := 0; i < 8; i++ {
+		va := VA(0x50_0000 + i*PageSize)
+		if err := pt.Map(va, GPA(0xA000+i*PageSize), PTEUser); err != nil {
+			t.Fatal(err)
+		}
+		if err := cpu.ReadData(va, nil, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := cpu.WriteData(0x40_0000, []byte{2}, 1)
+	if err == nil {
+		t.Fatal("write after EPT downgrade succeeded (stale memoized walk?)")
+	}
+	if got == nil || got.Reason != ExitEPTViolation {
+		t.Fatalf("exit %+v, err %v", got, err)
+	}
+}
+
+// TestWalkMemoFrameRecycle: recycling a frame that backed a memoized walk
+// (free then re-allocate, which zeroes it) must invalidate the memo.
+func TestWalkMemoFrameRecycle(t *testing.T) {
+	m, pt := newMemoMachine(t)
+	if err := pt.Map(0x40_0000, 0x8000, PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	c0 := m.Cores[0]
+	c0.Mode = ModeUser
+	if err := c0.ReadData(0x40_0000, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.HostMemoEntries() != 1 {
+		t.Fatal("walk not memoized")
+	}
+	// Recycle the page-table root frame: free it and allocate it again. The
+	// allocator zeroes recycled frames, which is a write into a watched
+	// frame.
+	m.Mem.FreeFrame(HPA(pt.Root))
+	if _, err := m.Mem.AllocFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.HostMemoEntries(); n != 0 {
+		t.Fatalf("memo survived frame recycle with %d entries", n)
+	}
+}
+
+// TestWalkMemoPermFallback: a memo hit whose recorded guest flags would
+// deny the requested access must fall back to a real walk that raises the
+// authoritative fault.
+func TestWalkMemoPermFallback(t *testing.T) {
+	m, pt := newMemoMachine(t)
+	if err := pt.Map(0x40_0000, 0x8000, PTEUser); err != nil { // read-only
+		t.Fatal(err)
+	}
+	c0, c1 := m.Cores[0], m.Cores[1]
+	c0.Mode = ModeUser
+	c1.Mode = ModeUser
+	if err := c0.ReadData(0x40_0000, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Core 1, cold TLB: the memo entry matches but a write is not allowed
+	// by the recorded flags, so the real walk must run and fault.
+	if err := c1.WriteData(0x40_0000, []byte{1}, 1); err == nil {
+		t.Fatal("write through read-only mapping succeeded")
+	}
+	if st := m.HostMemoStats(); st.PermFallbacks != 1 {
+		t.Fatalf("perm fallback not counted: %+v", st)
+	}
+}
+
+// TestHostFastPathsOffDisablesMemo: with the escape hatch off, machines
+// carry no memo and every TLB miss is a real walk.
+func TestHostFastPathsOffDisablesMemo(t *testing.T) {
+	withFastPaths(t, false)
+	m := NewMachine(MachineConfig{Cores: 1, MemBytes: 1 << 26})
+	if m.memo != nil {
+		t.Fatal("machine built a walk memo with fast paths off")
+	}
+	if m.HostMemoEntries() != 0 {
+		t.Fatal("entry count nonzero without a memo")
+	}
+}
+
+// TestWalkMemoLockstepTransparency drives two identical machines — fast
+// paths on vs. off — through the same access script (walks, TLB-capacity
+// thrash, CR3 reloads, PTE edits, faults) and requires every simulated
+// observable to stay in lockstep: clocks, walk counters, cache and TLB
+// stats.
+func TestWalkMemoLockstepTransparency(t *testing.T) {
+	type world struct {
+		m  *Machine
+		pt *PageTable
+	}
+	build := func(on bool) *world {
+		prev := SetHostFastPaths(on)
+		defer SetHostFastPaths(prev)
+		m := NewMachine(MachineConfig{Cores: 2, MemBytes: 1 << 26, DTLBEntries: 4})
+		pt := NewPageTable(m.Mem)
+		for _, cpu := range m.Cores {
+			cpu.CR3 = pt.Root
+			cpu.Mode = ModeUser
+		}
+		return &world{m: m, pt: pt}
+	}
+	on, off := build(true), build(false)
+	if on.m.memo == nil || off.m.memo != nil {
+		t.Fatal("toggle not honored at construction")
+	}
+
+	// The script runs on both worlds; any divergence of simulated state is
+	// a transparency violation.
+	script := func(w *world) {
+		pt, cores := w.pt, w.m.Cores
+		for i := 0; i < 12; i++ {
+			va := VA(0x40_0000 + i*PageSize)
+			if err := pt.Map(va, GPA(0x8000+i*PageSize), PTEUser|PTEWrite); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var b [8]byte
+		for round := 0; round < 4; round++ {
+			// Two sweeps: 12 pages cycled through a 4-entry LRU TLB miss on
+			// every access, so on the fast-path world the second sweep's
+			// walks are all served by the memo.
+			for sweep := 0; sweep < 2; sweep++ {
+				for i := 0; i < 12; i++ {
+					va := VA(0x40_0000 + i*PageSize)
+					cpu := cores[(round+i)%2]
+					if err := cpu.WriteData(va, []byte{byte(i)}, 1); err != nil {
+						t.Fatal(err)
+					}
+					if err := cpu.ReadData(va+8, b[:], 8); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Remap one page mid-script (memo invalidation on one world,
+			// plain PTE edit on the other).
+			if err := pt.Map(0x40_0000, GPA(0x30000+round*PageSize), PTEUser|PTEWrite); err != nil {
+				t.Fatal(err)
+			}
+			// CR3 reload with the same root (must stay transparent).
+			cores[0].Mode = ModeKernel
+			if err := cores[0].WriteCR3(pt.Root, 1); err != nil {
+				t.Fatal(err)
+			}
+			cores[0].Mode = ModeUser
+			// A faulting access (kernel-only page from user mode).
+			if round == 2 {
+				if err := pt.Map(0x70_0000, 0x2000, PTEWrite); err != nil {
+					t.Fatal(err)
+				}
+				if err := cores[1].ReadData(0x70_0000, nil, 1); err == nil {
+					t.Fatal("expected fault")
+				}
+			}
+		}
+		cores[1].DTLB.FlushAll()
+		for i := 0; i < 12; i++ {
+			va := VA(0x40_0000 + i*PageSize)
+			if err := cores[1].ReadData(va, nil, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	script(on)
+	script(off)
+
+	if st := on.m.HostMemoStats(); st.Hits == 0 {
+		t.Fatalf("script exercised no memo hits (weak test): %+v", st)
+	}
+	for i := range on.m.Cores {
+		co, cf := on.m.Cores[i], off.m.Cores[i]
+		if co.Clock != cf.Clock {
+			t.Errorf("core %d clock: on=%d off=%d", i, co.Clock, cf.Clock)
+		}
+		if co.Counters != cf.Counters {
+			t.Errorf("core %d counters: on=%+v off=%+v", i, co.Counters, cf.Counters)
+		}
+		if co.L1D.Stats != cf.L1D.Stats {
+			t.Errorf("core %d L1D: on=%+v off=%+v", i, co.L1D.Stats, cf.L1D.Stats)
+		}
+		if co.L1I.Stats != cf.L1I.Stats {
+			t.Errorf("core %d L1I: on=%+v off=%+v", i, co.L1I.Stats, cf.L1I.Stats)
+		}
+		if co.DTLB.Stats != cf.DTLB.Stats {
+			t.Errorf("core %d DTLB: on=%+v off=%+v", i, co.DTLB.Stats, cf.DTLB.Stats)
+		}
+	}
+	if on.m.Cores[0].L2.Stats != off.m.Cores[0].L2.Stats {
+		t.Errorf("L2: on=%+v off=%+v", on.m.Cores[0].L2.Stats, off.m.Cores[0].L2.Stats)
+	}
+	if on.m.L3.Stats != off.m.L3.Stats {
+		t.Errorf("L3: on=%+v off=%+v", on.m.L3.Stats, off.m.L3.Stats)
+	}
+}

@@ -22,12 +22,9 @@ type TLBStats struct {
 	Flushes uint64
 }
 
-type tlbKey struct {
-	tag TLBTag
-	vpn uint64
-}
-
 type tlbEntry struct {
+	tag   TLBTag
+	vpn   uint64
 	pfn   HPA
 	flags PTFlags
 	lru   uint64
@@ -35,68 +32,104 @@ type tlbEntry struct {
 
 // TLB is a fully-associative, LRU-replaced translation cache keyed by
 // (tag, virtual page number) and mapping to a host-physical frame.
+//
+// Host-side layout: resident entries live in one compact slice scanned
+// linearly, with the most recently hit entry swapped to slot 0. For the
+// 64–128 entry capacities modeled here this beats a hash map (no hashing,
+// no per-entry allocation, and hits under temporal locality match within
+// the first few compares). Slot order is pure host-side state: hit/miss
+// outcomes, stats, and LRU eviction decisions (driven by the unique lru
+// stamps) are identical to the previous map-based layout.
 type TLB struct {
 	capacity int
-	entries  map[tlbKey]*tlbEntry
+	entries  []tlbEntry
 	clock    uint64
 	Stats    TLBStats
+
+	// onFlush, when set, runs after every FlushAll/FlushTag. The machine
+	// wires this to its host-side walk memo so that explicit TLB
+	// invalidation also drops memoized walks (see hostmemo.go).
+	onFlush func()
 }
 
 // NewTLB creates a TLB with the given entry capacity.
 func NewTLB(capacity int) *TLB {
-	return &TLB{capacity: capacity, entries: make(map[tlbKey]*tlbEntry, capacity)}
+	return &TLB{capacity: capacity, entries: make([]tlbEntry, 0, capacity)}
 }
 
 // Lookup returns the cached translation for (tag, vpn) if present.
 func (t *TLB) Lookup(tag TLBTag, vpn uint64) (HPA, PTFlags, bool) {
 	t.clock++
 	t.Stats.Lookups++
-	e, ok := t.entries[tlbKey{tag, vpn}]
-	if !ok {
-		t.Stats.Misses++
-		return 0, 0, false
+	// Slot 0 holds the most recently hit entry (swapped there below), so
+	// under temporal locality this first compare serves most lookups.
+	if len(t.entries) > 0 {
+		if e := &t.entries[0]; e.vpn == vpn && e.tag == tag {
+			t.Stats.Hits++
+			e.lru = t.clock
+			return e.pfn, e.flags, true
+		}
 	}
-	t.Stats.Hits++
-	e.lru = t.clock
-	return e.pfn, e.flags, true
+	for i := 1; i < len(t.entries); i++ {
+		e := &t.entries[i]
+		if e.vpn == vpn && e.tag == tag {
+			t.Stats.Hits++
+			e.lru = t.clock
+			pfn, flags := e.pfn, e.flags
+			t.entries[i], t.entries[0] = t.entries[0], t.entries[i]
+			return pfn, flags, true
+		}
+	}
+	t.Stats.Misses++
+	return 0, 0, false
 }
 
 // Insert caches a translation, evicting the least recently used entry if
 // the TLB is full.
 func (t *TLB) Insert(tag TLBTag, vpn uint64, pfn HPA, flags PTFlags) {
 	t.clock++
-	k := tlbKey{tag, vpn}
-	if e, ok := t.entries[k]; ok {
-		e.pfn, e.flags, e.lru = pfn, flags, t.clock
-		return
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.vpn == vpn && e.tag == tag {
+			e.pfn, e.flags, e.lru = pfn, flags, t.clock
+			return
+		}
 	}
 	if len(t.entries) >= t.capacity {
-		var victim tlbKey
-		var oldest uint64 = ^uint64(0)
-		for k, e := range t.entries {
-			if e.lru < oldest {
-				oldest, victim = e.lru, k
+		victim := 0
+		for i := 1; i < len(t.entries); i++ {
+			if t.entries[i].lru < t.entries[victim].lru {
+				victim = i
 			}
 		}
-		delete(t.entries, victim)
+		t.entries[victim] = tlbEntry{tag: tag, vpn: vpn, pfn: pfn, flags: flags, lru: t.clock}
+		return
 	}
-	t.entries[k] = &tlbEntry{pfn: pfn, flags: flags, lru: t.clock}
+	t.entries = append(t.entries, tlbEntry{tag: tag, vpn: vpn, pfn: pfn, flags: flags, lru: t.clock})
 }
 
 // FlushAll invalidates every entry (a CR3 write with PCID disabled, or an
 // INVEPT).
 func (t *TLB) FlushAll() {
 	t.Stats.Flushes++
-	clear(t.entries)
+	t.entries = t.entries[:0]
+	if t.onFlush != nil {
+		t.onFlush()
+	}
 }
 
 // FlushTag invalidates all entries with the given tag (INVVPID/INVPCID).
 func (t *TLB) FlushTag(tag TLBTag) {
 	t.Stats.Flushes++
-	for k := range t.entries {
-		if k.tag == tag {
-			delete(t.entries, k)
+	kept := t.entries[:0]
+	for i := range t.entries {
+		if t.entries[i].tag != tag {
+			kept = append(kept, t.entries[i])
 		}
+	}
+	t.entries = kept
+	if t.onFlush != nil {
+		t.onFlush()
 	}
 }
 

@@ -1,0 +1,36 @@
+package isa
+
+import "testing"
+
+// benchInterp builds an interpreter over the 1..100 sum loop.
+func benchInterp(b *testing.B, cached bool) *Interp {
+	b.Helper()
+	prev := SetDecodeCache(cached)
+	b.Cleanup(func() { SetDecodeCache(prev) })
+	ip := NewInterp()
+	ip.AddRegion(0x400000, loopProgram(100))
+	return ip
+}
+
+func runLoop(b *testing.B, ip *Interp) {
+	for i := 0; i < b.N; i++ {
+		ip.RIP = 0x400000
+		ip.Halted = false
+		ip.Steps = 0
+		if err := ip.Run(10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepDecodeCached measures Interp.Step throughput with the
+// decoded-instruction cache serving repeat RIPs.
+func BenchmarkStepDecodeCached(b *testing.B) {
+	runLoop(b, benchInterp(b, true))
+}
+
+// BenchmarkStepDecodeUncached is the same loop with every instruction
+// re-decoded from raw bytes.
+func BenchmarkStepDecodeUncached(b *testing.B) {
+	runLoop(b, benchInterp(b, false))
+}

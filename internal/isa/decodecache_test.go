@@ -1,0 +1,156 @@
+package isa
+
+import "testing"
+
+// withDecodeCache forces the decode-cache toggle for the duration of a test
+// and restores the previous setting afterwards.
+func withDecodeCache(t *testing.T, on bool) {
+	t.Helper()
+	prev := SetDecodeCache(on)
+	t.Cleanup(func() { SetDecodeCache(prev) })
+}
+
+// loopProgram assembles a sum-1..n loop, which re-executes the same RIPs
+// many times — the decode cache's bread and butter.
+func loopProgram(n int32) []byte {
+	var a Asm
+	a.MovRI32(RAX, 0)
+	a.MovRI32(RCX, n)
+	top := a.Len()
+	a.AluRR(ADD, RAX, RCX)
+	a.AluRI8(SUB, RCX, 1)
+	body := a.Len()
+	a.Jcc(CondNE, 0)
+	rel := int32(top - (body + 6))
+	b := a.Bytes()
+	b[body+2] = byte(rel)
+	b[body+3] = byte(rel >> 8)
+	b[body+4] = byte(rel >> 16)
+	b[body+5] = byte(rel >> 24)
+	a.Hlt()
+	return a.Bytes()
+}
+
+// TestDecodeCacheTransparent runs the same loop with the cache on and off
+// and requires identical architectural outcomes, with the cached run
+// actually serving hits.
+func TestDecodeCacheTransparent(t *testing.T) {
+	run := func(on bool) *Interp {
+		withDecodeCache(t, on)
+		ip := NewInterp()
+		ip.AddRegion(0x400000, loopProgram(100))
+		ip.RIP = 0x400000
+		if err := ip.Run(10000); err != nil {
+			t.Fatal(err)
+		}
+		return ip
+	}
+	cached, plain := run(true), run(false)
+	if cached.Regs != plain.Regs || cached.ZF != plain.ZF || cached.SF != plain.SF ||
+		cached.Steps != plain.Steps {
+		t.Fatalf("cached run diverged: %+v vs %+v", cached.Regs, plain.Regs)
+	}
+	if cached.Regs[RAX] != 5050 {
+		t.Fatalf("rax = %d, want 5050", cached.Regs[RAX])
+	}
+	if cached.DecodeHits == 0 {
+		t.Fatal("loop produced no decode-cache hits")
+	}
+	if plain.DecodeHits != 0 || plain.DecodeMisses != 0 {
+		t.Fatalf("cache-off interp touched the cache: %+v", plain)
+	}
+}
+
+// TestDecodeCacheSelfModifyingCode overwrites already-executed code bytes
+// in place (same instruction length) and requires the second run to execute
+// the new bytes — a stale cache hit would reproduce the old result.
+func TestDecodeCacheSelfModifyingCode(t *testing.T) {
+	withDecodeCache(t, true)
+	prog := func(v int32) []byte {
+		var a Asm
+		a.MovRI32(RAX, v)
+		a.Hlt()
+		return a.Bytes()
+	}
+	code := prog(1)
+	ip := NewInterp()
+	ip.AddRegion(0x400000, code) // ip shares the backing slice
+	ip.RIP = 0x400000
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if ip.Regs[RAX] != 1 {
+		t.Fatalf("first run: rax = %d", ip.Regs[RAX])
+	}
+	if ip.DecodeMisses == 0 {
+		t.Fatal("nothing was cached")
+	}
+
+	copy(code, prog(2)) // in-place patch, no InvalidateCode call
+	ip.RIP = 0x400000
+	ip.Halted = false
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if ip.Regs[RAX] != 2 {
+		t.Fatalf("after in-place patch: rax = %d, want 2 (stale decode-cache hit)", ip.Regs[RAX])
+	}
+}
+
+// TestDecodeCacheLengthChangingPatch overwrites executed code with
+// instructions of different lengths, shifting every decode boundary.
+func TestDecodeCacheLengthChangingPatch(t *testing.T) {
+	withDecodeCache(t, true)
+	var a Asm
+	for i := 0; i < 12; i++ {
+		a.Nop()
+	}
+	a.Hlt()
+	code := a.Bytes()
+	ip := NewInterp()
+	ip.AddRegion(0x400000, code)
+	ip.RIP = 0x400000
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+
+	var b Asm
+	b.MovRI32(RBX, 7) // 5+ bytes where single-byte NOPs were cached
+	for b.Len() < len(code)-1 {
+		b.Nop()
+	}
+	b.Hlt()
+	patch := b.Bytes()
+	if len(patch) != len(code) {
+		t.Fatalf("patch length %d != code length %d", len(patch), len(code))
+	}
+	copy(code, patch)
+	ip.RIP = 0x400000
+	ip.Halted = false
+	if err := ip.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if ip.Regs[RBX] != 7 {
+		t.Fatalf("rbx = %d, want 7 (stale decode across shifted boundaries)", ip.Regs[RBX])
+	}
+}
+
+// TestDecodeCacheInvalidateOnAddRegion: mapping a new region drops the
+// cache (a conservative, explicit invalidation point).
+func TestDecodeCacheInvalidateOnAddRegion(t *testing.T) {
+	withDecodeCache(t, true)
+	ip := NewInterp()
+	ip.AddRegion(0x400000, loopProgram(3))
+	ip.RIP = 0x400000
+	if err := ip.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if ip.DecodeMisses == 0 {
+		t.Fatal("nothing cached")
+	}
+	inv := ip.DecodeInvalidations
+	ip.AddRegion(0x500000, make([]byte, 64))
+	if ip.DecodeInvalidations != inv+1 {
+		t.Fatalf("AddRegion did not invalidate (got %d, want %d)", ip.DecodeInvalidations, inv+1)
+	}
+}

@@ -1,9 +1,23 @@
 package isa
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 )
+
+// decodeCacheOn gates the decoded-instruction cache in interpreters
+// constructed afterwards. It exists as an escape hatch (skybench
+// -hostcache=off) and for on/off equivalence tests.
+var decodeCacheOn = true
+
+// SetDecodeCache enables or disables the decoded-instruction cache for
+// interpreters constructed afterwards, returning the previous setting.
+func SetDecodeCache(on bool) bool {
+	prev := decodeCacheOn
+	decodeCacheOn = on
+	return prev
+}
 
 // Region is a span of interpreter-visible memory (code or data).
 type Region struct {
@@ -33,10 +47,22 @@ type Interp struct {
 	Halted bool
 	// Steps counts executed instructions.
 	Steps int
+
+	// Decoded-instruction cache (host-side; execution semantics are
+	// unaffected). Keyed by RIP; every hit is validated by comparing the
+	// cached instruction's Raw bytes (a copy made at decode time) against
+	// the current region bytes, so an in-place code write — including a
+	// rewrite pass mutating a region slice it retained — transparently
+	// forces a re-decode. AddRegion and InvalidateCode also drop entries.
+	decCache            map[uint64]Inst
+	decOn               bool
+	DecodeHits          uint64 // host-side diagnostics only
+	DecodeMisses        uint64
+	DecodeInvalidations uint64
 }
 
 // NewInterp returns an empty interpreter.
-func NewInterp() *Interp { return &Interp{} }
+func NewInterp() *Interp { return &Interp{decOn: decodeCacheOn} }
 
 // AddRegion maps data at base. Regions must not overlap.
 func (ip *Interp) AddRegion(base uint64, data []byte) {
@@ -46,6 +72,42 @@ func (ip *Interp) AddRegion(base uint64, data []byte) {
 		}
 	}
 	ip.regions = append(ip.regions, Region{Base: base, Data: data})
+	ip.InvalidateCode()
+}
+
+// InvalidateCode drops every cached decoded instruction. Callers that
+// mutate code bytes in place do not need to call this — hit validation
+// catches byte changes — but rewriters may call it for explicitness.
+func (ip *Interp) InvalidateCode() {
+	if len(ip.decCache) > 0 {
+		ip.DecodeInvalidations++
+		clear(ip.decCache)
+	}
+}
+
+// decode returns the decoded instruction at the current RIP, serving it
+// from the decode cache when the underlying bytes still match.
+func (ip *Interp) decode(code []byte) (Inst, error) {
+	if !ip.decOn {
+		return Decode(code)
+	}
+	if in, ok := ip.decCache[ip.RIP]; ok {
+		if n := len(in.Raw); len(code) >= n && bytes.Equal(in.Raw, code[:n]) {
+			ip.DecodeHits++
+			return in, nil
+		}
+		// Stale bytes under a cached entry: fall through and re-decode.
+	}
+	in, err := Decode(code)
+	if err != nil {
+		return in, err
+	}
+	ip.DecodeMisses++
+	if ip.decCache == nil {
+		ip.decCache = make(map[uint64]Inst)
+	}
+	ip.decCache[ip.RIP] = in
+	return in, nil
 }
 
 func (ip *Interp) region(addr uint64, n int) ([]byte, error) {
@@ -145,7 +207,7 @@ func (ip *Interp) Step() error {
 			}
 		}
 	}
-	in, err := Decode(code)
+	in, err := ip.decode(code)
 	if err != nil {
 		return fmt.Errorf("isa: at rip %#x: %w", ip.RIP, err)
 	}

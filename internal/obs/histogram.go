@@ -109,6 +109,23 @@ func (h *Histogram) Quantile(q float64) uint64 {
 // Reset empties the histogram.
 func (h *Histogram) Reset() { *h = Histogram{} }
 
+// Merge folds other into h. All fields are exact uint64 accumulators, so
+// merging per-shard histograms yields bit-identical state to observing the
+// same values through one histogram, regardless of merge order.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Summary is the JSON-serializable digest of a histogram: the percentiles
 // the paper-style latency tables need, in cycles.
 type Summary struct {

@@ -86,6 +86,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// MergeHistograms folds every histogram of other into the same-named
+// histogram here (created if absent). Counters are not merged: bound
+// counters alias per-machine stats structs, which have no cross-registry
+// meaning. Histogram merging is exact (see Histogram.Merge), so a
+// declaration-ordered merge of per-experiment registries reproduces a
+// serial run's histograms bit-for-bit.
+func (r *Registry) MergeHistograms(other *Registry) {
+	for name, h := range other.hists {
+		r.Histogram(name).Merge(h)
+	}
+}
+
 // ResetAll zeroes every counter (owned and bound) and every histogram.
 // Benchmarks call this once after warm-up so the measurement window starts
 // from a clean slate across all layers at once.

@@ -156,6 +156,25 @@ func (t *Tracer) Process(name string, ncores int) *ProcTrace {
 // Processes returns the traced processes in creation order.
 func (t *Tracer) Processes() []*ProcTrace { return t.procs }
 
+// Adopt moves every process of other into t, renumbering pids to continue
+// t's sequence, and leaves other empty. A runner that gives each
+// experiment its own sub-tracer and adopts them in declaration order
+// produces the same pid assignment — and therefore byte-identical trace
+// output — as a serial run that created all processes in one tracer.
+func (t *Tracer) Adopt(other *Tracer) {
+	if other == nil || other == t {
+		return
+	}
+	for _, pt := range other.procs {
+		pt.pid = len(t.procs)
+		for _, ct := range pt.cores {
+			ct.pid = pt.pid
+		}
+		t.procs = append(t.procs, pt)
+	}
+	other.procs = nil
+}
+
 // TotalEvents returns the number of recorded events across all tracks.
 func (t *Tracer) TotalEvents() int {
 	n := 0

@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"skybridge/internal/hw"
@@ -32,23 +31,48 @@ type event struct {
 	fn     func()
 }
 
-type eventHeap []*event
+// eventHeap is a binary min-heap of events ordered by (t, seq), stored by
+// value in one slice. Events used to be boxed *event nodes managed by
+// container/heap, which allocated every push; the slice-backed heap is
+// allocation-free at steady state (the backing array is reused) while
+// popping in exactly the same (t, seq) order — seq is unique, so the
+// ordering is total and independent of heap layout.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.less(r, child) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
 }
 
 // ThreadState tracks where a thread is in its lifecycle.
@@ -91,10 +115,22 @@ func NewEngine(m *hw.Machine) *Engine {
 	return &Engine{Mach: m, yieldCh: make(chan struct{})}
 }
 
-func (e *Engine) push(ev *event) {
+func (e *Engine) push(ev event) {
 	e.seq++
 	ev.seq = e.seq
-	heap.Push(&e.events, ev)
+	e.events = append(e.events, ev)
+	e.events.siftUp(len(e.events) - 1)
+}
+
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release thread/val/fn references
+	e.events = h[:n]
+	e.events.siftDown(0)
+	return top
 }
 
 // Go creates a thread on the given core and schedules its first run at the
@@ -109,14 +145,14 @@ func (e *Engine) Go(name string, core *hw.CPU, body func(t *Thread)) *Thread {
 		th.state = StateFinished
 		e.yieldCh <- struct{}{}
 	}()
-	e.push(&event{t: core.Clock, thread: th})
+	e.push(event{t: core.Clock, thread: th})
 	return th
 }
 
 // At schedules fn to run on the engine goroutine at time t. fn must not
 // block; it may wake parked threads.
 func (e *Engine) At(t uint64, fn func()) {
-	e.push(&event{t: t, fn: fn})
+	e.push(event{t: t, fn: fn})
 }
 
 // Wake schedules a parked thread to resume at time at, delivering val as
@@ -125,15 +161,15 @@ func (e *Engine) At(t uint64, fn func()) {
 // error recorded if the thread has finished, ignored if it is running ---
 // the caller must own the thread's lifecycle).
 func (e *Engine) Wake(t *Thread, at uint64, val any) {
-	e.push(&event{t: at, thread: t, val: val})
+	e.push(event{t: at, thread: t, val: val})
 }
 
 // Run processes events until none remain. It returns an error if threads
 // are still parked when the queue drains (deadlock) or if one was woken in
 // an invalid state.
 func (e *Engine) Run() error {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for len(e.events) > 0 {
+		ev := e.pop()
 		if ev.fn != nil {
 			ev.fn()
 			continue
