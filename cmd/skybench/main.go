@@ -9,8 +9,8 @@
 //	skybench -run table2 -trace trace.json -metrics metrics.json
 //
 // Experiments: table1 table2 table4 table5 table6 fig2 fig7 fig8 fig9
-// fig10 fig11 ablations. Paper-scale knobs: -records, -ops, -kvops,
-// -clients, -scale.
+// fig10 fig11 ablations scaling (-list prints them). Paper-scale knobs:
+// -records, -ops, -kvops, -clients, -scale.
 //
 // -trace writes a Chrome trace-event JSON (open in Perfetto / chrome://
 // tracing; 1 timestamp unit = 1 simulated cycle, one track per simulated
@@ -80,6 +80,7 @@ func selectExperiments(runList string) (map[string]bool, error) {
 
 func main() {
 	var (
+		list    = flag.Bool("list", false, "print the experiment names, one per line, and exit")
 		runList = flag.String("run", "all", "comma-separated experiments (or 'all')")
 		records = flag.Int("records", 1000, "YCSB records per client (paper: 10000)")
 		ops     = flag.Int("ops", 60, "YCSB operations per client thread")
@@ -93,13 +94,21 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write machine-readable experiment records (JSON) to this file")
 
 		jobs      = flag.Int("j", 1, "run experiments on N parallel workers (output stays in declaration order, byte-identical for any N)")
-		hostCache = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
-		hostBench = flag.String("hostbench", "", "time the suite with caches off/on and parallel, writing BENCH_host.json here")
+		hostCache    = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
+		hostBench    = flag.String("hostbench", "", "time the suite with caches off/on and parallel, writing BENCH_host.json here")
+		scalingBench = flag.String("scalingbench", "", "run the multicore scaling sweep and write BENCH_scaling.json here")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, n := range experimentNames {
+			fmt.Println(n)
+		}
+		return
+	}
 
 	switch *hostCache {
 	case "on":
@@ -153,6 +162,17 @@ func main() {
 
 	if *hostBench != "" {
 		if err := runHostBench(*hostBench, sel, opts, *jobs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scalingBench != "" {
+		r, err := bench.Scaling(bench.ScalingConfig{Records: opts.Records, TotalOps: opts.KVOps})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(r.Render())
+		if err := writeFile(*scalingBench, func(w io.Writer) error { return bench.WriteScalingBench(w, r) }); err != nil {
 			fatal(err)
 		}
 		return

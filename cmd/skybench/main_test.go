@@ -2,6 +2,23 @@ package main
 
 import "testing"
 
+func TestExperimentNamesIncludeScaling(t *testing.T) {
+	// -list prints experimentNames; the catalog must expose every
+	// selector, including the multicore scaling sweep.
+	found := map[string]bool{}
+	for _, n := range experimentNames {
+		if found[n] {
+			t.Errorf("duplicate experiment name %q", n)
+		}
+		found[n] = true
+	}
+	for _, want := range []string{"table2", "fig8", "fig9", "scaling"} {
+		if !found[want] {
+			t.Errorf("experiment %q missing from -list output", want)
+		}
+	}
+}
+
 func TestSelectExperimentsAll(t *testing.T) {
 	sel, err := selectExperiments("all")
 	if err != nil {

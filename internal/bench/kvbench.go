@@ -27,6 +27,32 @@ type KVStats struct {
 	DTLBMisses   uint64
 }
 
+// KVPlacement parameterizes the machine width and thread placement of
+// the KV pipeline. The zero value reproduces the paper's testbed: a
+// 4-core machine with the client (and same-core servers) on core 0, and
+// the cross-core configuration pinning the two servers to the next two
+// cores after the client (the paper pins client and servers to three
+// distinct cores).
+type KVPlacement struct {
+	// Cores is the machine width (0 = the default 4).
+	Cores int
+	// ClientCore is the logical core index the client thread runs on;
+	// servers place relative to it through mk.Placement.
+	ClientCore int
+}
+
+// serverCores returns the cores for the encryption and KV servers given
+// the transport: the client's own core for same-core transports, the two
+// cores after the client for the pinned cross-core configuration. This
+// is the one place the encCore/kvCore choice lives.
+func (p KVPlacement) serverCores(k *mk.Kernel, tr Transport) (encCore, kvCore *hw.CPU) {
+	pl := k.Placement()
+	if tr == TransportIPCCross {
+		return pl.Core(p.ClientCore + 1), pl.Core(p.ClientCore + 2)
+	}
+	return pl.Core(p.ClientCore), pl.Core(p.ClientCore)
+}
+
 // RunKV runs the Figure 1 pipeline in the given configuration: ops
 // operations (50% insert, 50% query) with the given key/value length,
 // returning per-op latency and the hardware counters of the measurement
@@ -36,9 +62,18 @@ func RunKV(tr Transport, size, ops int) *KVStats {
 }
 
 // RunKV is the session form: each operation's latency feeds a histogram
-// named "kv/<transport>/<size>" and the run emits one Record.
+// named "kv/<transport>/<size>" and the run emits one Record. The
+// default placement reproduces the paper's testbed (see KVPlacement).
 func (s *Session) RunKV(tr Transport, size, ops int) *KVStats {
-	cfg := WorldConfig{Flavor: mk.SeL4, Cores: 4}
+	return s.RunKVPlaced(tr, size, ops, KVPlacement{})
+}
+
+// RunKVPlaced is RunKV with explicit machine width and core placement.
+func (s *Session) RunKVPlaced(tr Transport, size, ops int, place KVPlacement) *KVStats {
+	cfg := WorldConfig{Flavor: mk.SeL4, Cores: place.Cores}
+	if cfg.Cores == 0 {
+		cfg.Cores = 4
+	}
 	if tr == TransportSkyBridge {
 		cfg.SkyBridge = true
 	}
@@ -46,6 +81,7 @@ func (s *Session) RunKV(tr Transport, size, ops int) *KVStats {
 	w := s.world(label, cfg)
 	h := s.hist(label)
 	k := w.K
+	clientCore := k.Placement().Core(place.ClientCore)
 
 	stats := &KVStats{Transport: tr, Size: size}
 	slotSize := 4 + 2*1024 + 128
@@ -84,11 +120,7 @@ func (s *Session) RunKV(tr Transport, size, ops int) *KVStats {
 		crypto := kv.NewCrypto(encP)
 		encEP := k.NewEndpoint("enc")
 		kvEP := k.NewEndpoint("kv")
-		encCore, kvCore := k.Mach.Cores[0], k.Mach.Cores[0]
-		if tr == TransportIPCCross {
-			// The paper pins client and its two servers to three cores.
-			encCore, kvCore = k.Mach.Cores[1], k.Mach.Cores[2]
-		}
+		encCore, kvCore := place.serverCores(k, tr)
 		encP.Spawn("srv", encCore, func(env *mk.Env) { svc.ServeIPC(env, encEP, crypto.Handler()) })
 		kvP.Spawn("srv", kvCore, func(env *mk.Env) { svc.ServeIPC(env, kvEP, store.Handler()) })
 		closers = append(closers, encEP.Close, kvEP.Close)
@@ -102,10 +134,11 @@ func (s *Session) RunKV(tr Transport, size, ops int) *KVStats {
 		store := kv.NewStore(kvP, nslots, slotSize)
 		crypto := kv.NewCrypto(encP)
 		var encID, kvID int
-		encP.Spawn("reg", k.Mach.Cores[0], func(env *mk.Env) {
+		encCore, kvCore := place.serverCores(k, tr)
+		encP.Spawn("reg", encCore, func(env *mk.Env) {
 			encID, _ = svc.RegisterSkyBridgeServer(w.SB, env, 8, crypto.Handler())
 		})
-		kvP.Spawn("reg", k.Mach.Cores[0], func(env *mk.Env) {
+		kvP.Spawn("reg", kvCore, func(env *mk.Env) {
 			kvID, _ = svc.RegisterSkyBridgeServer(w.SB, env, 8, store.Handler())
 		})
 		if err := w.Eng.Run(); err != nil {
@@ -130,7 +163,7 @@ func (s *Session) RunKV(tr Transport, size, ops int) *KVStats {
 	if clientText == 0 {
 		clientText = client.Alloc(24 << 10)
 	}
-	client.Spawn("cli", k.Mach.Cores[0], func(env *mk.Env) {
+	client.Spawn("cli", clientCore, func(env *mk.Env) {
 		c := &kv.Client{Enc: encConn(env), KV: kvConn(env), Text: clientText, TextLen: 24 << 10}
 		rng := rand.New(rand.NewSource(17))
 		key := func(i int) []byte {

@@ -102,6 +102,13 @@ func Catalog() []Experiment {
 		Experiment{Name: "ablations", Label: "ablations", Run: func(s *Session, o Options) (string, error) {
 			return RenderAblations(s.Ablations()), nil
 		}},
+		Experiment{Name: "scaling", Label: "scaling", Run: func(s *Session, o Options) (string, error) {
+			r, err := s.Scaling(ScalingConfig{Records: o.Records, TotalOps: o.KVOps})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 	)
 	return units
 }

@@ -159,8 +159,12 @@ type SkyBridge struct {
 
 	// Rewrites counts processes whose code was scanned and rewritten.
 	Rewrites int
-	// DirectCalls counts completed direct server calls.
+	// DirectCalls counts completed direct server calls (each request of a
+	// batch counts as one call).
 	DirectCalls uint64
+	// BatchCalls counts batched crossings (DirectCallBatch with 2+
+	// requests): one trampoline round trip serving several calls.
+	BatchCalls uint64
 }
 
 // New creates the SkyBridge facility over a booted Rootkernel.
@@ -174,6 +178,7 @@ func New(k *mk.Kernel, rk *hv.Rootkernel) *SkyBridge {
 		rng:      rand.New(rand.NewSource(0x5B)), // deterministic key stream
 	}
 	k.Mach.Obs.Bind("core.direct_calls", &sb.DirectCalls)
+	k.Mach.Obs.Bind("core.batch_calls", &sb.BatchCalls)
 	return sb
 }
 

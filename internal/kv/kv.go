@@ -229,10 +229,7 @@ func (c *Crypto) transform(env *mk.Env, data []byte) []byte {
 	env.Read(c.keyVA, nil, c.keyLen)
 	env.Write(c.scratch, data, len(data))
 	env.Compute(uint64(2 * len(data)))
-	out := make([]byte, len(data))
-	for i, b := range data {
-		out[i] = b ^ byte(0x5A+i*7)
-	}
+	out := CipherStream(data)
 	env.Read(c.scratch, nil, len(data))
 	c.Ops++
 	return out

@@ -1,0 +1,145 @@
+package svc
+
+import (
+	"fmt"
+	"testing"
+
+	"skybridge/internal/mk"
+)
+
+// recordConn is a Conn (not a Batcher) that records how requests arrive.
+type recordConn struct {
+	id      int
+	invokes int
+	ops     []uint64
+}
+
+func (c *recordConn) Invoke(env *mk.Env, req Req) (Resp, error) {
+	c.invokes++
+	c.ops = append(c.ops, req.Op)
+	return Resp{Status: StatusOK, Vals: [3]uint64{uint64(c.id), req.Op, 0}}, nil
+}
+
+// batchConn is a Batcher that records batch boundaries.
+type batchConn struct {
+	recordConn
+	batches [][]uint64
+}
+
+func (c *batchConn) InvokeBatch(env *mk.Env, reqs []Req) ([]Resp, error) {
+	ops := make([]uint64, len(reqs))
+	resps := make([]Resp, len(reqs))
+	for i, req := range reqs {
+		ops[i] = req.Op
+		resps[i] = Resp{Status: StatusOK, Vals: [3]uint64{uint64(c.id), req.Op, 0}}
+	}
+	c.batches = append(c.batches, ops)
+	return resps, nil
+}
+
+// TestInvokeBatchFallsBackSequentially: a plain Conn serves a batch as
+// sequential Invoke calls, in submission order.
+func TestInvokeBatchFallsBackSequentially(t *testing.T) {
+	c := &recordConn{id: 7}
+	reqs := []Req{{Op: 3}, {Op: 1}, {Op: 2}}
+	resps, err := InvokeBatch(nil, c, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.invokes != 3 {
+		t.Errorf("invokes = %d, want 3", c.invokes)
+	}
+	for i, r := range resps {
+		if r.Vals[1] != reqs[i].Op {
+			t.Errorf("resp %d echoes op %d, want %d", i, r.Vals[1], reqs[i].Op)
+		}
+	}
+}
+
+// TestInvokeBatchPrefersBatcher: a Batcher gets the whole batch in one
+// call.
+func TestInvokeBatchPrefersBatcher(t *testing.T) {
+	c := &batchConn{recordConn: recordConn{id: 2}}
+	resps, err := InvokeBatch(nil, c, []Req{{Op: 5}, {Op: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.batches) != 1 || len(c.batches[0]) != 2 {
+		t.Errorf("batches = %v, want one batch of 2", c.batches)
+	}
+	if c.invokes != 0 {
+		t.Errorf("fell back to %d sequential invokes", c.invokes)
+	}
+	if len(resps) != 2 || resps[1].Vals[1] != 6 {
+		t.Errorf("resps = %v", resps)
+	}
+}
+
+// TestShardedRoutesAndScatters: requests group per shard (visited in
+// index order), batch once per shard, and responses scatter back to
+// submission order.
+func TestShardedRoutesAndScatters(t *testing.T) {
+	shards := []Conn{
+		&batchConn{recordConn: recordConn{id: 0}},
+		&batchConn{recordConn: recordConn{id: 1}},
+		&batchConn{recordConn: recordConn{id: 2}},
+	}
+	s := NewSharded(shards, func(req Req) int { return int(req.Op % 3) })
+
+	reqs := make([]Req, 10)
+	for i := range reqs {
+		reqs[i] = Req{Op: uint64(i)}
+	}
+	resps, err := s.InvokeBatch(nil, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		wantShard := uint64(i % 3)
+		if r.Vals[0] != wantShard || r.Vals[1] != uint64(i) {
+			t.Errorf("resp %d came from shard %d for op %d, want shard %d op %d",
+				i, r.Vals[0], r.Vals[1], wantShard, i)
+		}
+	}
+	// Shard 0 owns ops 0,3,6,9 as one batch; shard 2 owns 2,5,8.
+	b0 := shards[0].(*batchConn)
+	if len(b0.batches) != 1 || fmt.Sprint(b0.batches[0]) != "[0 3 6 9]" {
+		t.Errorf("shard 0 batches = %v", b0.batches)
+	}
+	b2 := shards[2].(*batchConn)
+	if len(b2.batches) != 1 || fmt.Sprint(b2.batches[0]) != "[2 5 8]" {
+		t.Errorf("shard 2 batches = %v", b2.batches)
+	}
+}
+
+// TestShardedSingleInvoke routes one request straight to its shard.
+func TestShardedSingleInvoke(t *testing.T) {
+	shards := []Conn{&recordConn{id: 0}, &recordConn{id: 1}}
+	s := NewSharded(shards, func(req Req) int { return int(req.Op) })
+	resp, err := s.Invoke(nil, Req{Op: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Vals[0] != 1 {
+		t.Errorf("routed to shard %d, want 1", resp.Vals[0])
+	}
+	if shards[0].(*recordConn).invokes != 0 {
+		t.Error("shard 0 was invoked")
+	}
+}
+
+// TestShardedSkipsEmptyShards: a batch touching a subset of shards only
+// crosses to those shards.
+func TestShardedSkipsEmptyShards(t *testing.T) {
+	shards := []Conn{
+		&batchConn{recordConn: recordConn{id: 0}},
+		&batchConn{recordConn: recordConn{id: 1}},
+	}
+	s := NewSharded(shards, func(req Req) int { return 0 })
+	if _, err := s.InvokeBatch(nil, []Req{{Op: 1}, {Op: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(shards[1].(*batchConn).batches); n != 0 {
+		t.Errorf("idle shard received %d batches", n)
+	}
+}
