@@ -9,8 +9,13 @@
 //	skybench -run table2 -trace trace.json -metrics metrics.json
 //
 // Experiments: table1 table2 table4 table5 table6 fig2 fig7 fig8 fig9
-// fig10 fig11 ablations scaling (-list prints them). Paper-scale knobs:
-// -records, -ops, -kvops, -clients, -scale.
+// fig10 fig11 ablations scaling async (-list prints them). Paper-scale
+// knobs: -records, -ops, -kvops, -clients, -scale.
+//
+// -benchout <kind>=<path> runs a standalone benchmark and writes its JSON
+// document: host (suite wall-clock timings), scaling (multicore sweep),
+// async (ring queue-depth sweep). Repeatable; -hostbench and
+// -scalingbench remain as deprecated aliases.
 //
 // -trace writes a Chrome trace-event JSON (open in Perfetto / chrome://
 // tracing; 1 timestamp unit = 1 simulated cycle, one track per simulated
@@ -94,14 +99,31 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write machine-readable experiment records (JSON) to this file")
 
 		jobs      = flag.Int("j", 1, "run experiments on N parallel workers (output stays in declaration order, byte-identical for any N)")
-		hostCache    = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
-		hostBench    = flag.String("hostbench", "", "time the suite with caches off/on and parallel, writing BENCH_host.json here")
-		scalingBench = flag.String("scalingbench", "", "run the multicore scaling sweep and write BENCH_scaling.json here")
+		hostCache = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
+
+		hostBench    = flag.String("hostbench", "", "deprecated: alias for -benchout host=<path>")
+		scalingBench = flag.String("scalingbench", "", "deprecated: alias for -benchout scaling=<path>")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
+	benchOuts := map[string]string{}
+	flag.Func("benchout", "run a standalone benchmark and write its JSON: <kind>=<path>, kind one of host|scaling|async (repeatable)",
+		func(v string) error { return parseBenchOut(benchOuts, v) })
 	flag.Parse()
+
+	// Deprecated aliases fold into the -benchout map (explicit -benchout
+	// wins on conflict).
+	if *hostBench != "" {
+		if _, ok := benchOuts["host"]; !ok {
+			benchOuts["host"] = *hostBench
+		}
+	}
+	if *scalingBench != "" {
+		if _, ok := benchOuts["scaling"]; !ok {
+			benchOuts["scaling"] = *scalingBench
+		}
+	}
 
 	if *list {
 		for _, n := range experimentNames {
@@ -160,19 +182,8 @@ func main() {
 		Scale: *scale,
 	}
 
-	if *hostBench != "" {
-		if err := runHostBench(*hostBench, sel, opts, *jobs); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	if *scalingBench != "" {
-		r, err := bench.Scaling(bench.ScalingConfig{Records: opts.Records, TotalOps: opts.KVOps})
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(r.Render())
-		if err := writeFile(*scalingBench, func(w io.Writer) error { return bench.WriteScalingBench(w, r) }); err != nil {
+	if len(benchOuts) > 0 {
+		if err := runBenchOuts(benchOuts, sel, opts, *jobs); err != nil {
 			fatal(err)
 		}
 		return
@@ -200,6 +211,57 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// parseBenchOut parses one -benchout value (<kind>=<path>) into outs,
+// rejecting unknown kinds and duplicate keys.
+func parseBenchOut(outs map[string]string, v string) error {
+	kind, path, ok := strings.Cut(v, "=")
+	if !ok || path == "" {
+		return fmt.Errorf("want <kind>=<path>, got %q", v)
+	}
+	kind = strings.ToLower(strings.TrimSpace(kind))
+	switch kind {
+	case "host", "scaling", "async":
+	default:
+		return fmt.Errorf("unknown benchmark kind %q (host, scaling, async)", kind)
+	}
+	if prev, dup := outs[kind]; dup {
+		return fmt.Errorf("duplicate -benchout kind %q (already writing %s)", kind, prev)
+	}
+	outs[kind] = path
+	return nil
+}
+
+// runBenchOuts runs the requested standalone benchmarks in a fixed order
+// (host, scaling, async) and writes each result where -benchout asked.
+func runBenchOuts(outs map[string]string, sel map[string]bool, opts bench.Options, jobs int) error {
+	if path, ok := outs["host"]; ok {
+		if err := runHostBench(path, sel, opts, jobs); err != nil {
+			return err
+		}
+	}
+	if path, ok := outs["scaling"]; ok {
+		r, err := bench.Scaling(bench.ScalingConfig{Records: opts.Records, TotalOps: opts.KVOps})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		if err := writeFile(path, func(w io.Writer) error { return bench.WriteScalingBench(w, r) }); err != nil {
+			return err
+		}
+	}
+	if path, ok := outs["async"]; ok {
+		r, err := bench.Async(bench.AsyncConfig{Records: opts.Records, TotalOps: opts.KVOps})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		if err := writeFile(path, func(w io.Writer) error { return bench.WriteAsyncBench(w, r) }); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runHostBench times the selected suite three ways — serial with host

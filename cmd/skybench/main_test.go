@@ -66,3 +66,20 @@ func TestSelectExperimentsAllPlusUnknown(t *testing.T) {
 		t.Error("'all,bogus' accepted; unknown names must always be rejected")
 	}
 }
+
+func TestParseBenchOut(t *testing.T) {
+	outs := map[string]string{}
+	for _, v := range []string{"host=a.json", "Scaling=b.json", "async=c.json"} {
+		if err := parseBenchOut(outs, v); err != nil {
+			t.Fatalf("parseBenchOut(%q): %v", v, err)
+		}
+	}
+	if outs["host"] != "a.json" || outs["scaling"] != "b.json" || outs["async"] != "c.json" {
+		t.Errorf("outs = %v", outs)
+	}
+	for _, bad := range []string{"host=", "host", "=x.json", "fig7=x.json", "async=dup.json"} {
+		if err := parseBenchOut(outs, bad); err == nil {
+			t.Errorf("parseBenchOut(%q) accepted; want error", bad)
+		}
+	}
+}

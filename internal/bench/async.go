@@ -1,0 +1,530 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"skybridge/internal/core"
+	"skybridge/internal/kv"
+	"skybridge/internal/mk"
+	"skybridge/internal/svc"
+	"skybridge/internal/ycsb"
+)
+
+// Asynchronous IPC: the sharded KV store driven through submission/
+// completion rings (core.AsyncRing) instead of per-operation direct
+// calls. The machine splits into client cores and shard cores; each shard
+// runs a poll thread (core.RingServer) draining its clients' rings, so
+// the handler work overlaps the clients' marshalling instead of running
+// on their threads. The sweep measures closed-loop throughput across
+// queue depths and core counts against a synchronous DirectCall baseline
+// on the identical topology — the QD=1 cells isolate the cost of the
+// ring machinery itself, the deep cells its pipelining benefit, and the
+// doorbell/wakeup counters attribute every crossing and IPI the adaptive
+// policy did or did not take.
+
+// AsyncConfig parameterizes the asynchronous sweep.
+type AsyncConfig struct {
+	Flavor mk.Flavor
+	// CoreCounts are the machine widths swept (default 1, 2, 4).
+	CoreCounts []int
+	// Workloads are the YCSB mixes driven (default A, C).
+	Workloads []ycsb.Workload
+	// Records is the preloaded keyspace size (spread over shards).
+	Records int
+	// TotalOps is the operation count per cell, split over the clients.
+	TotalOps int
+	// Depths are the ring queue depths swept (default 1, 2, 8, 32).
+	Depths []int
+}
+
+// AsyncCell is one measured configuration. Mode "sync" cells have QD 0.
+type AsyncCell struct {
+	Workload string `json:"workload"`
+	Cores    int    `json:"cores"`
+	Mode     string `json:"mode"`
+	QD       int    `json:"qd"`
+
+	// OpsPerMcyc is aggregate closed-loop throughput over the makespan;
+	// CyclesPerOp the sum of client busy cycles over total operations.
+	OpsPerMcyc  float64 `json:"ops_per_mcyc"`
+	CyclesPerOp float64 `json:"cycles_per_op"`
+	Makespan    uint64  `json:"makespan_cycles"`
+
+	ClientCycles []uint64 `json:"client_cycles"`
+
+	// Crossing accounting: sync cells take one crossing per op
+	// (DirectCalls); async cells take none per op (RingOps) and only
+	// doorbell when a server sleeps.
+	DirectCalls      uint64 `json:"direct_calls"`
+	RingOps          uint64 `json:"ring_ops"`
+	Doorbells        uint64 `json:"doorbells"`
+	DoorbellsSkipped uint64 `json:"doorbells_skipped"`
+
+	// Adaptive-wakeup accounting (both sides' waits).
+	SpinWakes  uint64 `json:"spin_wakes"`
+	Parks      uint64 `json:"parks"`
+	LocalWakes uint64 `json:"local_wakes"`
+	IPIWakes   uint64 `json:"ipi_wakes"`
+	IPIs       uint64 `json:"ipis"`
+
+	// Ring occupancy over the run (mean/max of per-submit depth).
+	DepthMean float64 `json:"depth_mean,omitempty"`
+	DepthMax  uint64  `json:"depth_max,omitempty"`
+}
+
+// AsyncResult holds the sweep.
+type AsyncResult struct {
+	Records    int          `json:"records"`
+	TotalOps   int          `json:"total_ops"`
+	CoreCounts []int        `json:"core_counts"`
+	Depths     []int        `json:"depths"`
+	Workloads  []string     `json:"workloads"`
+	Cells      []*AsyncCell `json:"cells"`
+}
+
+// Async runs the sweep with catalog options.
+func Async(cfg AsyncConfig) (*AsyncResult, error) {
+	return NewSession(nil).Async(cfg)
+}
+
+// Async is the session form: each cell feeds a per-op latency histogram
+// "async/<workload>/<cores>c/<mode>" and emits one Record.
+func (s *Session) Async(cfg AsyncConfig) (*AsyncResult, error) {
+	if len(cfg.CoreCounts) == 0 {
+		cfg.CoreCounts = []int{1, 2, 4}
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []ycsb.Workload{ycsb.WorkloadA(cfg.Records), ycsb.WorkloadC(cfg.Records)}
+	}
+	if len(cfg.Depths) == 0 {
+		cfg.Depths = []int{1, 2, 8, 32}
+	}
+	res := &AsyncResult{
+		Records: cfg.Records, TotalOps: cfg.TotalOps,
+		CoreCounts: cfg.CoreCounts, Depths: cfg.Depths,
+	}
+	for _, w := range cfg.Workloads {
+		res.Workloads = append(res.Workloads, w.Name)
+		for _, cores := range cfg.CoreCounts {
+			cell, err := s.runAsyncCell(cfg, w, cores, 0)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, cell)
+			for _, qd := range cfg.Depths {
+				cell, err := s.runAsyncCell(cfg, w, cores, qd)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res, nil
+}
+
+// asyncTopology splits a machine between clients and shards: half the
+// cores each (shards on the upper half), degenerating to one of each
+// sharing the single core of a 1-core machine.
+func asyncTopology(cores int) (clients, shards int) {
+	shards = cores / 2
+	if shards == 0 {
+		shards = 1
+	}
+	clients = cores - shards
+	if clients == 0 {
+		clients = 1
+	}
+	return clients, shards
+}
+
+// runAsyncCell measures one (workload, cores, qd) configuration; qd 0 is
+// the synchronous DirectCall baseline on the identical topology.
+func (s *Session) runAsyncCell(cfg AsyncConfig, w ycsb.Workload, cores, qd int) (*AsyncCell, error) {
+	mode := "sync"
+	if qd > 0 {
+		mode = fmt.Sprintf("qd%d", qd)
+	}
+	label := fmt.Sprintf("async/%s/%dc/%s", w.Name, cores, mode)
+	world := s.world(label, WorldConfig{Flavor: cfg.Flavor, Cores: cores, SkyBridge: true})
+	h := s.hist(label)
+	k := world.K
+	pl := k.Placement()
+	clients, shards := asyncTopology(cores)
+
+	// Register phase: one store shard per shard core, preloaded with the
+	// records it owns (plain values — no crypto stage; this experiment
+	// isolates the transport).
+	slotSize := 4 + 32 + 2*w.FieldLength
+	nslots := 2*cfg.Records/shards + 128
+	stores := kv.NewStoreShards(k, "kv", shards, nslots, slotSize)
+	kvIDs := make([]int, shards)
+	var regErr error
+	for i := range stores {
+		i := i
+		stores[i].Proc.Spawn("shard", pl.Core(clients+i), func(env *mk.Env) {
+			for r := int64(0); r < int64(cfg.Records); r++ {
+				key := scalingKey(r)
+				if kv.ShardOf(key, shards) != i {
+					continue
+				}
+				if err := stores[i].Preload(env, key, []byte(ycsb.RecordValue(w, r))); err != nil && regErr == nil {
+					regErr = fmt.Errorf("shard %d preload: %w", i, err)
+					return
+				}
+			}
+			id, err := svc.RegisterSkyBridgeServer(world.SB, env, 2*clients, stores[i].Handler())
+			if err != nil && regErr == nil {
+				regErr = fmt.Errorf("shard %d register: %w", i, err)
+				return
+			}
+			kvIDs[i] = id
+		})
+	}
+	if err := world.Eng.Run(); err != nil {
+		return nil, err
+	}
+	if regErr != nil {
+		return nil, regErr
+	}
+	pol := mk.WakePolicy{}
+	ringServers := make([]*core.RingServer, 0, shards)
+	if qd > 0 {
+		for _, id := range kvIDs {
+			rs, err := world.SB.NewRingServer(id, pol)
+			if err != nil {
+				return nil, err
+			}
+			ringServers = append(ringServers, rs)
+		}
+	}
+
+	// Bind phase: client ci on core ci, one connection (sync) or ring
+	// (async) per shard.
+	procs := make([]*mk.Process, clients)
+	syncKVs := make([]*svc.Sharded, clients)
+	asyncKVs := make([]*kv.AsyncKV, clients)
+	var bindErr error
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		procs[ci] = k.NewProcess(fmt.Sprintf("cli%d", ci))
+		procs[ci].Spawn("bind", pl.Core(ci), func(env *mk.Env) {
+			if qd == 0 {
+				conns := make([]svc.Conn, shards)
+				for i, id := range kvIDs {
+					c, err := svc.NewSkyBridge(world.SB, env, id)
+					if err != nil {
+						if bindErr == nil {
+							bindErr = fmt.Errorf("client %d bind shard %d: %w", ci, i, err)
+						}
+						return
+					}
+					conns[i] = c
+				}
+				syncKVs[ci] = svc.NewSharded(conns, kv.PickReq(shards))
+				return
+			}
+			rings := make([]*svc.AsyncConn, shards)
+			for i, id := range kvIDs {
+				c, err := svc.OpenAsync(world.SB, env, id, qd, slotSize+64, pol)
+				if err != nil {
+					if bindErr == nil {
+						bindErr = fmt.Errorf("client %d ring to shard %d: %w", ci, i, err)
+					}
+					return
+				}
+				rings[i] = c
+			}
+			asyncKVs[ci] = kv.NewAsyncKV(rings)
+		})
+	}
+	if err := world.Eng.Run(); err != nil {
+		return nil, err
+	}
+	if bindErr != nil {
+		return nil, bindErr
+	}
+
+	// Measurement: align the core clocks (setup charged unevenly — boot
+	// and binding on core 0, preloading on the shard cores — and a skewed
+	// start would bill the whole offset to the first cross-core completion
+	// wait), reset machine-wide counters, then run the poll threads
+	// (async) and the closed-loop clients together. The last client to
+	// drain closes the poll loops so the engine can retire them.
+	k.Mach.AlignClocks()
+	k.Mach.ResetStats()
+	baseDirect := world.SB.DirectCalls
+	baseRing, baseBells, baseSkip := world.SB.RingOps, world.SB.RingDoorbells, world.SB.RingDoorbellsSkipped
+	baseSpin, baseParks, baseLocal, baseIPIW := k.SpinWakes, k.Parks, k.LocalWakes, k.IPIWakes
+
+	var srvErr error
+	for i, rs := range ringServers {
+		i, rs := i, rs
+		stores[i].Proc.Spawn("poll", pl.Core(clients+i), func(env *mk.Env) {
+			if err := rs.Serve(env); err != nil && srvErr == nil {
+				srvErr = fmt.Errorf("shard %d poll: %w", i, err)
+			}
+		})
+	}
+	durations := make([]uint64, clients)
+	remaining := clients
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	for ci := 0; ci < clients; ci++ {
+		ci := ci
+		ops := cfg.TotalOps / clients
+		if ci < cfg.TotalOps%clients {
+			ops++
+		}
+		procs[ci].Spawn("drive", pl.Core(ci), func(env *mk.Env) {
+			defer func() {
+				if remaining--; remaining == 0 {
+					for _, rs := range ringServers {
+						rs.Close(env)
+					}
+				}
+			}()
+			g := ycsb.NewGenerator(w, 1000+int64(ci))
+			start := env.Now()
+			completed := 0
+			if qd == 0 {
+				c := syncKVs[ci]
+				for done := 0; done < ops; done++ {
+					op := g.Next()
+					t := env.Now()
+					resp, err := c.Invoke(env, asyncReq(op))
+					if err != nil {
+						fail(fmt.Errorf("client %d op %d: %w", ci, done, err))
+						return
+					}
+					if err := kv.CheckResp(resp); err != nil {
+						fail(fmt.Errorf("client %d op %d: %w", ci, done, err))
+						return
+					}
+					completed++
+					h.Observe(env.Now() - t)
+				}
+			} else {
+				a := asyncKVs[ci]
+				for done := 0; done < ops; done++ {
+					op := g.Next()
+					t := env.Now()
+					var err error
+					if op.Kind == ycsb.OpUpdate {
+						err = a.SubmitPut(env, scalingKey(op.Key), []byte(op.Value))
+					} else {
+						err = a.SubmitGet(env, scalingKey(op.Key))
+					}
+					if err == nil {
+						err = a.FlushAll(env)
+					}
+					var resps []svc.Resp
+					if err == nil {
+						resps, err = a.Reap(env)
+					}
+					if err != nil {
+						fail(fmt.Errorf("client %d op %d: %w", ci, done, err))
+						return
+					}
+					for _, r := range resps {
+						if err := kv.CheckResp(r); err != nil {
+							fail(fmt.Errorf("client %d: %w", ci, err))
+							return
+						}
+						completed++
+					}
+					h.Observe(env.Now() - t)
+				}
+				resps, err := a.Drain(env)
+				if err != nil {
+					fail(fmt.Errorf("client %d drain: %w", ci, err))
+					return
+				}
+				for _, r := range resps {
+					if err := kv.CheckResp(r); err != nil {
+						fail(fmt.Errorf("client %d: %w", ci, err))
+						return
+					}
+					completed++
+				}
+			}
+			if completed != ops {
+				fail(fmt.Errorf("client %d completed %d of %d ops", ci, completed, ops))
+				return
+			}
+			durations[ci] = env.Now() - start
+		})
+	}
+	if err := world.Eng.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if srvErr != nil {
+		return nil, srvErr
+	}
+
+	cell := &AsyncCell{
+		Workload: w.Name, Cores: cores, Mode: mode, QD: qd,
+		ClientCycles:     durations,
+		DirectCalls:      world.SB.DirectCalls - baseDirect,
+		RingOps:          world.SB.RingOps - baseRing,
+		Doorbells:        world.SB.RingDoorbells - baseBells,
+		DoorbellsSkipped: world.SB.RingDoorbellsSkipped - baseSkip,
+		SpinWakes:        k.SpinWakes - baseSpin,
+		Parks:            k.Parks - baseParks,
+		LocalWakes:       k.LocalWakes - baseLocal,
+		IPIWakes:         k.IPIWakes - baseIPIW,
+		IPIs:             k.Mach.Obs.Value("machine.ipis"),
+	}
+	var sum uint64
+	for _, d := range durations {
+		sum += d
+		if d > cell.Makespan {
+			cell.Makespan = d
+		}
+	}
+	if cell.Makespan > 0 {
+		cell.OpsPerMcyc = float64(cfg.TotalOps) * 1e6 / float64(cell.Makespan)
+	}
+	if cfg.TotalOps > 0 {
+		cell.CyclesPerOp = float64(sum) / float64(cfg.TotalOps)
+	}
+	if qd > 0 {
+		var dsum, dcount uint64
+		for _, a := range asyncKVs {
+			for _, c := range a.Rings {
+				d := c.Ring.Depth()
+				dsum += d.Sum()
+				dcount += d.Count()
+				if m := d.Max(); m > cell.DepthMax {
+					cell.DepthMax = m
+				}
+			}
+		}
+		if dcount > 0 {
+			cell.DepthMean = float64(dsum) / float64(dcount)
+		}
+	}
+
+	reg := k.Mach.Obs
+	values := map[string]float64{
+		"ops_per_megacycle":  cell.OpsPerMcyc,
+		"cycles_per_op":      cell.CyclesPerOp,
+		"makespan_cycles":    float64(cell.Makespan),
+		"ops_per_sec":        OpsPerSec(cfg.TotalOps, cell.Makespan),
+		"direct_calls":       float64(cell.DirectCalls),
+		"ring_ops":           float64(cell.RingOps),
+		"doorbells":          float64(cell.Doorbells),
+		"doorbells_skipped":  float64(cell.DoorbellsSkipped),
+		"spin_wakes":         float64(cell.SpinWakes),
+		"parks":              float64(cell.Parks),
+		"local_wakes":        float64(cell.LocalWakes),
+		"ipi_wakes":          float64(cell.IPIWakes),
+		"ipis":               float64(cell.IPIs),
+		"depth_mean":         cell.DepthMean,
+		"depth_max":          float64(cell.DepthMax),
+		"vmfuncs":            float64(reg.SumSuffix(".vmfuncs")),
+		"l1d_misses":         float64(reg.SumSuffix(".L1D.misses")),
+		"spin_cycles_parked": float64(k.SpinCycles),
+	}
+	for i, d := range durations {
+		values[fmt.Sprintf("client%d_cycles", i)] = float64(d)
+	}
+	s.record(Record{
+		Experiment: "async",
+		Config: map[string]string{
+			"workload": w.Name,
+			"cores":    fmt.Sprintf("%d", cores),
+			"mode":     mode,
+			"qd":       fmt.Sprintf("%d", qd),
+			"records":  fmt.Sprintf("%d", cfg.Records),
+			"ops":      fmt.Sprintf("%d", cfg.TotalOps),
+		},
+		CyclesPerOp: cell.CyclesPerOp,
+		Values:      values,
+		Latency:     s.latencyOf(label),
+	})
+	return cell, nil
+}
+
+// asyncReq converts a YCSB op to a store request (sync path).
+func asyncReq(op ycsb.Op) svc.Req {
+	if op.Kind == ycsb.OpUpdate {
+		key := scalingKey(op.Key)
+		payload := make([]byte, 2+len(key)+len(op.Value))
+		payload[0], payload[1] = byte(len(key)), byte(len(key)>>8)
+		copy(payload[2:], key)
+		copy(payload[2+len(key):], op.Value)
+		return svc.Req{Op: kv.OpPut, Data: payload}
+	}
+	return svc.Req{Op: kv.OpGet, Data: scalingKey(op.Key)}
+}
+
+// cell looks up (workload, cores, mode).
+func (r *AsyncResult) cell(workload string, cores int, mode string) *AsyncCell {
+	for _, c := range r.Cells {
+		if c.Workload == workload && c.Cores == cores && c.Mode == mode {
+			return c
+		}
+	}
+	return nil
+}
+
+// Render formats the sweep: throughput per queue depth against the sync
+// baseline, with the best-depth speedup per row.
+func (r *AsyncResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Asynchronous IPC: submission/completion rings vs sync DirectCall (%d records, %d ops)\n",
+		r.Records, r.TotalOps)
+	fmt.Fprintf(&b, "%-10s %5s %12s", "workload", "cores", "sync op/Mc")
+	for _, qd := range r.Depths {
+		fmt.Fprintf(&b, " %11s", fmt.Sprintf("qd%d op/Mc", qd))
+	}
+	fmt.Fprintf(&b, " %8s\n", "best")
+	for _, w := range r.Workloads {
+		for _, cores := range r.CoreCounts {
+			sync := r.cell(w, cores, "sync")
+			if sync == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%-10s %5d %12.1f", w, cores, sync.OpsPerMcyc)
+			best := 0.0
+			for _, qd := range r.Depths {
+				c := r.cell(w, cores, fmt.Sprintf("qd%d", qd))
+				if c == nil {
+					fmt.Fprintf(&b, " %11s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, " %11.1f", c.OpsPerMcyc)
+				if c.OpsPerMcyc > best {
+					best = c.OpsPerMcyc
+				}
+			}
+			if sync.OpsPerMcyc > 0 {
+				fmt.Fprintf(&b, " %7.2fx", best/sync.OpsPerMcyc)
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}
+
+// WriteAsyncBench serializes r as the BENCH_async.json document.
+func WriteAsyncBench(w io.Writer, r *AsyncResult) error {
+	buf, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

@@ -109,6 +109,13 @@ func Catalog() []Experiment {
 			}
 			return r.Render(), nil
 		}},
+		Experiment{Name: "async", Label: "async", Run: func(s *Session, o Options) (string, error) {
+			r, err := s.Async(AsyncConfig{Records: o.Records, TotalOps: o.KVOps})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 	)
 	return units
 }

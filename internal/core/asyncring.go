@@ -1,0 +1,618 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+	"skybridge/internal/obs"
+)
+
+// Asynchronous submission/completion rings: an io_uring-style IPC mode
+// over the existing per-pair shared buffer. The client enqueues up to QD
+// requests into a single-producer/single-consumer submission ring without
+// trampolining; the server's poll thread drains them on its own core and
+// posts results to a completion ring the client reaps. The only crossing
+// left on the path is the *doorbell* — one trampoline+VMFUNC round trip
+// that hands a sleeping server the current ring tail — and the adaptive
+// wakeup policy (mk.AdaptiveWait) makes even that rare: a busy server
+// polls the ring through shared memory and no crossing happens at all.
+//
+// Security parity with the synchronous paths is preserved:
+//
+//   - every doorbell crossing presents the connection's calling key and
+//     the server-side trampoline checks it against the calling-key table,
+//     exactly like DirectCall (one check per crossing — the key
+//     authenticates the connection, not the individual request);
+//   - every ring entry's payload length is bounds-checked on both sides:
+//     the server rejects submissions whose length or sequence tag escapes
+//     their slot (RingStatusBadEntry, without dying), and the client
+//     validates every completion index, sequence tag, and length against
+//     its own cursors before touching payload memory, so a malicious
+//     server can fail a Reap with ErrRingCorrupt but never redirect it.
+//
+// Ring layout inside the 4-page shared buffer (offsets in bytes):
+//
+//	0     sqTail       (control word, one cache line each)
+//	64    cqTail
+//	128   needDoorbell (server arms before sleeping)
+//	192   clientWait   (client arms before sleeping)
+//	256   QD submission entries (48 B each)
+//	      QD completion entries (48 B each, line-aligned base)
+//	      QD payload slots (SlotLen each, line-aligned, >= 256 B)
+//
+// Indices are free-running uint32 sequence numbers (slot = seq % QD), so
+// full/empty never ambiguate and wraparound is a modulo, not a state.
+const (
+	// MaxQD bounds a ring's queue depth so control words + two entry
+	// rings + MaxQD minimum slots always fit the smallest shared buffer.
+	MaxQD = 32
+
+	// Control-word offsets, one per cache line so the two sides' polling
+	// does not false-share.
+	ctlSQTail       = 0 * hw.LineSize
+	ctlCQTail       = 1 * hw.LineSize
+	ctlNeedDoorbell = 2 * hw.LineSize
+	ctlClientWait   = 3 * hw.LineSize
+	ringCtlBytes    = 4 * hw.LineSize
+
+	// ringEntryLen is one submission or completion entry: 4 argument/
+	// result registers, a payload length, a sequence tag, and padding.
+	ringEntryLen = 48
+	// ringSlotMin mirrors batchSlotMin: every slot leaves room for a
+	// reply the client cannot size in advance.
+	ringSlotMin = batchSlotMin
+	// costRingDispatch is the server's per-entry bookkeeping beyond the
+	// charged entry reads and writes (same work as the batch path).
+	costRingDispatch = costBatchDispatch
+)
+
+// RingStatusBadEntry is echoed in Regs[0] of a completion whose
+// submission entry failed the server-side bounds check (length or
+// sequence tag outside its slot). No handler status uses this value.
+const RingStatusBadEntry = ^uint64(0)
+
+// Async-ring errors.
+var (
+	ErrRingFull    = errors.New("core: submission ring full")
+	ErrRingCorrupt = errors.New("core: completion ring failed client-side validation")
+)
+
+// Completion is one reaped result.
+type Completion struct {
+	Regs [4]uint64
+	Len  int
+	Seq  uint32
+	// Data is the reply payload, copied out of the ring slot (nil when
+	// Len == 0).
+	Data []byte
+}
+
+// RingServer is the server half of the asynchronous path: one poll
+// thread (Serve) draining every ring attached to one registered server.
+type RingServer struct {
+	srv    *Server
+	rings  []*AsyncRing
+	parker mk.Parker
+	pol    mk.WakePolicy
+	closed bool
+
+	// Served counts completions written; Bad counts submissions rejected
+	// by the server-side bounds check.
+	Served uint64
+	Bad    uint64
+}
+
+// NewRingServer attaches an asynchronous poll loop to a registered
+// server. Clients then open rings against it with OpenRing, and the
+// server process runs rs.Serve on a dedicated thread.
+func (sb *SkyBridge) NewRingServer(serverID int, pol mk.WakePolicy) (*RingServer, error) {
+	srv, ok := sb.servers[serverID]
+	if !ok {
+		return nil, ErrNoSuchServer
+	}
+	if sb.ringServers[serverID] != nil {
+		return nil, fmt.Errorf("core: server %d already has a ring server", serverID)
+	}
+	rs := &RingServer{srv: srv, pol: pol}
+	sb.ringServers[serverID] = rs
+	return rs, nil
+}
+
+// AsyncRing is the client handle of one submission/completion ring pair,
+// laid out in the client's existing connection buffer to serverID.
+type AsyncRing struct {
+	sb       *SkyBridge
+	conn     *Connection
+	rs       *RingServer
+	serverID int
+
+	QD      int
+	SlotLen int
+
+	sqeBase int
+	cqeBase int
+	payBase int
+
+	// Client cursors (free-running): subSeq counts submissions, reapSeq
+	// reaped completions, lastCQ the last validated cqTail observation.
+	subSeq  uint32
+	reapSeq uint32
+	lastCQ  uint32
+
+	// srvSeq is the server poll loop's drain cursor.
+	srvSeq uint32
+
+	pol       mk.WakePolicy
+	cliParker mk.Parker
+
+	depth     *obs.Histogram
+	occupancy obs.Gauge
+
+	// Client-side stats.
+	Submitted        uint64
+	Reaped           uint64
+	Doorbells        uint64 // crossings actually taken
+	DoorbellsSkipped uint64 // flushes that found the server awake
+}
+
+func alignLine(n int) int { return (n + hw.LineSize - 1) &^ (hw.LineSize - 1) }
+
+// OpenRing lays a ring pair of depth qd with payload slots of at least
+// payloadCap bytes over the calling client's connection to serverID (the
+// client must have registered first, and the server must have a
+// RingServer). The control words are zeroed with charged writes.
+func (sb *SkyBridge) OpenRing(env *mk.Env, serverID, qd, payloadCap int, pol mk.WakePolicy) (*AsyncRing, error) {
+	conn, ok := sb.bindings[env.P][serverID]
+	if !ok {
+		return nil, ErrNotRegistered
+	}
+	rs := sb.ringServers[serverID]
+	if rs == nil {
+		return nil, fmt.Errorf("core: server %d has no ring server", serverID)
+	}
+	if qd < 1 || qd > MaxQD {
+		return nil, fmt.Errorf("core: ring depth %d (max %d)", qd, MaxQD)
+	}
+	if payloadCap < 0 {
+		return nil, fmt.Errorf("core: negative ring payload capacity %d", payloadCap)
+	}
+	// Same early guard as Layout: bound the capacity before any rounding
+	// arithmetic can wrap.
+	if payloadCap > conn.BufLen {
+		return nil, fmt.Errorf("core: ring payload capacity %d exceeds shared buffer %d",
+			payloadCap, conn.BufLen)
+	}
+	if payloadCap < ringSlotMin {
+		payloadCap = ringSlotMin
+	}
+	slot := alignLine(payloadCap)
+	sqeBase := ringCtlBytes
+	cqeBase := alignLine(sqeBase + qd*ringEntryLen)
+	payBase := alignLine(cqeBase + qd*ringEntryLen)
+	if payBase+qd*slot > conn.BufLen {
+		return nil, fmt.Errorf("core: shared buffer %d too small for ring of %d x %d-byte slots",
+			conn.BufLen, qd, slot)
+	}
+	r := &AsyncRing{
+		sb: sb, conn: conn, rs: rs, serverID: serverID,
+		QD: qd, SlotLen: slot,
+		sqeBase: sqeBase, cqeBase: cqeBase, payBase: payBase,
+		pol: pol,
+	}
+	name := fmt.Sprintf("async.%s.s%d", conn.Client.Name, serverID)
+	r.depth = sb.K.Mach.Obs.Histogram(name + ".depth")
+	r.occupancy = sb.K.Mach.Obs.Gauge(name + ".occupancy")
+	var zero [8]byte
+	for _, off := range []int{ctlSQTail, ctlCQTail, ctlClientWait} {
+		env.Write(conn.ClientBuf+hw.VA(off), zero[:], 8)
+	}
+	// A new ring starts with its doorbell armed: the poll thread may have
+	// parked before this ring existed (its arm pass could not flag it), so
+	// the first Flush must take the crossing unconditionally. The server's
+	// next disarm clears it.
+	writeCtl(env, conn.ClientBuf, ctlNeedDoorbell, 1)
+	rs.rings = append(rs.rings, r)
+	return r, nil
+}
+
+// encodeRingEntry packs an entry: regs, payload length, sequence tag.
+func encodeRingEntry(regs [4]uint64, plen int, seq uint32) []byte {
+	b := make([]byte, ringEntryLen)
+	for i, r := range regs {
+		binary.LittleEndian.PutUint64(b[8*i:], r)
+	}
+	binary.LittleEndian.PutUint32(b[32:], uint32(plen))
+	binary.LittleEndian.PutUint32(b[36:], seq)
+	return b
+}
+
+// decodeRingEntry unpacks an entry. The length converts through int32 so
+// garbage in the high bit surfaces as a negative (rejectable) length.
+func decodeRingEntry(b []byte) (regs [4]uint64, plen int, seq uint32) {
+	for i := range regs {
+		regs[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return regs, int(int32(binary.LittleEndian.Uint32(b[32:]))), binary.LittleEndian.Uint32(b[36:])
+}
+
+// readCtl/writeCtl access one control word with a charged 8-byte memory
+// operation from the given side of the buffer.
+func readCtl(env *mk.Env, base hw.VA, off int) uint32 {
+	var b [8]byte
+	env.Read(base+hw.VA(off), b[:], 8)
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func writeCtl(env *mk.Env, base hw.VA, off int, v uint32) {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	env.Write(base+hw.VA(off), b[:], 8)
+}
+
+// Inflight returns submissions not yet reaped.
+func (r *AsyncRing) Inflight() int { return int(r.subSeq - r.reapSeq) }
+
+// Depth returns the ring's queue-depth histogram (one Observe per
+// Submit, of the post-submit in-flight count).
+func (r *AsyncRing) Depth() *obs.Histogram { return r.depth }
+
+// SlotVA returns the client VA of the payload slot the *next* Submit
+// will use; callers staging payloads in place write there and pass the
+// same VA as Request.Buf to skip the copy.
+func (r *AsyncRing) SlotVA() hw.VA {
+	return r.conn.ClientBuf + hw.VA(r.payBase+int(r.subSeq%uint32(r.QD))*r.SlotLen)
+}
+
+// Submit enqueues one request without crossing: payload into its slot,
+// entry into the submission ring, tail published. ErrRingFull when QD
+// submissions are already in flight (reap first). The submission only
+// becomes *guaranteed* visible to a sleeping server after Flush.
+func (r *AsyncRing) Submit(env *mk.Env, req Request) error {
+	if r.Inflight() >= r.QD {
+		return ErrRingFull
+	}
+	if req.Len < 0 || req.Len > r.SlotLen {
+		return fmt.Errorf("core: ring payload %d exceeds slot %d", req.Len, r.SlotLen)
+	}
+	idx := int(r.subSeq % uint32(r.QD))
+	slotVA := r.conn.ClientBuf + hw.VA(r.payBase+idx*r.SlotLen)
+	if req.Len > 0 && req.Buf != slotVA {
+		data := make([]byte, req.Len)
+		env.Read(req.Buf, data, req.Len)
+		env.Write(slotVA, data, req.Len)
+	}
+	env.Write(r.conn.ClientBuf+hw.VA(r.sqeBase+idx*ringEntryLen),
+		encodeRingEntry(req.Regs, req.Len, r.subSeq), ringEntryLen)
+	r.subSeq++
+	writeCtl(env, r.conn.ClientBuf, ctlSQTail, r.subSeq)
+	r.Submitted++
+	d := uint64(r.Inflight())
+	r.depth.Observe(d)
+	r.occupancy.Set(d)
+	return nil
+}
+
+// Flush makes pending submissions visible to the server: if the server's
+// poll loop is awake (needDoorbell clear) the shared-memory tail write
+// already did the job and no crossing happens; if the server armed its
+// doorbell flag before sleeping, Flush performs the doorbell crossing.
+// The sqTail write in Submit precedes this flag read (Dekker order
+// against the server's arm -> re-check -> park sequence), so a sleeping
+// server is always either doorbelled or about to see the tail itself.
+func (r *AsyncRing) Flush(env *mk.Env) error {
+	if readCtl(env, r.conn.ClientBuf, ctlNeedDoorbell) == 0 {
+		r.DoorbellsSkipped++
+		r.sb.RingDoorbellsSkipped++
+		return nil
+	}
+	return r.doorbell(env, 0, false)
+}
+
+// Doorbell forces the crossing regardless of the server's armed state
+// (tests and callers that want the trampoline on every flush).
+func (r *AsyncRing) Doorbell(env *mk.Env) error { return r.doorbell(env, 0, false) }
+
+// DoorbellWithKey lets tests present an arbitrary calling key on the
+// crossing (modelling a malicious client); normal clients always present
+// their issued key.
+func (r *AsyncRing) DoorbellWithKey(env *mk.Env, key uint64) error {
+	return r.doorbell(env, key, true)
+}
+
+// doorbell is the one remaining crossing of the asynchronous path: a
+// trampoline+VMFUNC round trip into the server's EPT view that presents
+// the calling key, reads the submission tail from the server side of the
+// buffer, and kicks the parked poll thread (IPI if cross-core). Cost
+// structure mirrors call(): the crossing itself is a full DirectCall
+// round trip minus the handler.
+func (r *AsyncRing) doorbell(env *mk.Env, forcedKey uint64, useForced bool) error {
+	sb, conn, srv := r.sb, r.conn, r.rs.srv
+	cpu := env.T.Core
+	env.T.Checkpoint()
+	env.Enter()
+
+	tr := cpu.Trace
+	span := tr.Begin(cpu.Clock, "skybridge.doorbell", "core")
+
+	// --- client-side trampoline ---
+	if err := cpu.TouchCode(TrampolineVA, trampEntryLen); err != nil {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
+		return fmt.Errorf("core: trampoline fetch: %w", err)
+	}
+	cpu.Tick(costSaveRegs)
+	clientKey := sb.rng.Uint64()
+	cpu.Tick(6)
+	presented := conn.ServerKey
+	if useForced {
+		presented = forcedKey
+	}
+
+	tc := sb.tc[env.T]
+	if tc == nil {
+		tc = &threadCtx{proc: env.P, stack: []int{0}}
+		sb.tc[env.T] = tc
+	}
+	slot, _, err := sb.RK.ResolveSlot(cpu, tc.proc, r.serverID, tc.stack)
+	if err != nil {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
+		return fmt.Errorf("core: slot resolve for server %d: %w", r.serverID, err)
+	}
+
+	// --- the EPTP switch ---
+	if err := cpu.VMFunc(0, slot); err != nil {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
+		return fmt.Errorf("core: vmfunc to server %d (slot %d): %w", r.serverID, slot, err)
+	}
+	sb.afterSwitch(cpu)
+	tc.stack = append(tc.stack, slot)
+
+	// --- server-side trampoline: calling-key check, every crossing ---
+	cpu.Tick(costInstallStack)
+	var kb [8]byte
+	senv := env.DirectEnv(srv.Proc)
+	senv.Read(srv.keyTable+hw.VA(8*conn.slot), kb[:], 8)
+	cpu.Tick(4)
+	if leU64(kb) != presented {
+		srv.Rejected++
+		cpu.Syscall()
+		cpu.Swapgs()
+		cpu.Tick(50)
+		cpu.Swapgs()
+		cpu.Sysret()
+		sb.switchBack(env, tc)
+		tr.End(span, cpu.Clock, obs.U("bad_key", 1))
+		return ErrBadKey
+	}
+
+	// Hand over the ring tail (read back through the server's view) and
+	// kick the parked poll thread awake.
+	_ = readCtl(senv, conn.ServerBuf, ctlSQTail)
+	sb.K.WakeParker(cpu, &r.rs.parker)
+
+	// --- return thunk ---
+	if err := cpu.TouchCode(trampReturnVA, trampReturnLen); err != nil {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
+		return fmt.Errorf("core: return thunk fetch: %w", err)
+	}
+	cpu.Tick(costRestoreRegs)
+	sb.switchBack(env, tc)
+	echoed := clientKey
+	cpu.Tick(6)
+	if echoed != clientKey {
+		tr.End(span, cpu.Clock, obs.U("error", 1))
+		return ErrReturnKey
+	}
+	r.Doorbells++
+	sb.RingDoorbells++
+	tr.End(span, cpu.Clock, obs.U("server", uint64(r.serverID)))
+	return nil
+}
+
+// availCompletions reads the completion tail and validates it against the
+// client's cursors: a tail that regresses behind an earlier observation,
+// or runs ahead of what was actually submitted, means the server
+// fabricated completions (completion-before-submission) and the ring is
+// declared corrupt.
+func (r *AsyncRing) availCompletions(env *mk.Env) (uint32, error) {
+	tail := readCtl(env, r.conn.ClientBuf, ctlCQTail)
+	if int32(tail-r.lastCQ) < 0 {
+		return 0, fmt.Errorf("%w: completion tail moved backwards (%d after %d)",
+			ErrRingCorrupt, tail, r.lastCQ)
+	}
+	if d := tail - r.reapSeq; d > r.subSeq-r.reapSeq {
+		return 0, fmt.Errorf("%w: completion tail %d ahead of submissions (reaped %d, submitted %d)",
+			ErrRingCorrupt, tail, r.reapSeq, r.subSeq)
+	}
+	r.lastCQ = tail
+	return tail - r.reapSeq, nil
+}
+
+// Reap collects completions: it waits (adaptively — spin, then HLT with
+// the clientWait flag armed) until at least minN are available, then
+// reaps *everything* available. minN of 0 never blocks. Callers must
+// Flush before a blocking Reap, or a sleeping server may never see the
+// submissions being waited on. Every completion is validated before its
+// payload is read: sequence tag must match the expected cursor and the
+// length must fit the slot — a malicious server writing out-of-bounds
+// completion indices or lengths yields ErrRingCorrupt, never an
+// out-of-slot read.
+func (r *AsyncRing) Reap(env *mk.Env, minN int) ([]Completion, error) {
+	if minN > r.Inflight() {
+		return nil, fmt.Errorf("core: reap of %d with only %d in flight", minN, r.Inflight())
+	}
+	avail, err := r.availCompletions(env)
+	if err != nil {
+		return nil, err
+	}
+	// AdaptiveWait's ready closure refreshes avail while spinning, but a
+	// parked thread returns on the waker's kick *without* a final ready
+	// call — so re-read the tail after every wait and loop until the
+	// quorum is really there (a spurious wake just waits again).
+	for int(avail) < minN {
+		var verr error
+		env.AdaptiveWait(&r.cliParker, r.pol, func() bool {
+			avail, verr = r.availCompletions(env)
+			return verr != nil || int(avail) >= minN
+		}, func() {
+			writeCtl(env, r.conn.ClientBuf, ctlClientWait, 1)
+		}, func() {
+			writeCtl(env, r.conn.ClientBuf, ctlClientWait, 0)
+		})
+		if verr == nil && int(avail) < minN {
+			avail, verr = r.availCompletions(env)
+		}
+		if verr != nil {
+			return nil, verr
+		}
+	}
+	if avail == 0 {
+		return nil, nil
+	}
+	out := make([]Completion, 0, avail)
+	hdr := make([]byte, ringEntryLen)
+	for ; r.reapSeq != r.lastCQ; r.reapSeq++ {
+		idx := int(r.reapSeq % uint32(r.QD))
+		env.Read(r.conn.ClientBuf+hw.VA(r.cqeBase+idx*ringEntryLen), hdr, ringEntryLen)
+		regs, plen, seq := decodeRingEntry(hdr)
+		if seq != r.reapSeq {
+			return nil, fmt.Errorf("%w: completion %d carries sequence tag %d",
+				ErrRingCorrupt, r.reapSeq, seq)
+		}
+		if plen < 0 || plen > r.SlotLen {
+			return nil, fmt.Errorf("%w: completion %d length %d exceeds slot %d",
+				ErrRingCorrupt, r.reapSeq, plen, r.SlotLen)
+		}
+		c := Completion{Regs: regs, Len: plen, Seq: r.reapSeq}
+		if plen > 0 {
+			c.Data = make([]byte, plen)
+			env.Read(r.conn.ClientBuf+hw.VA(r.payBase+idx*r.SlotLen), c.Data, plen)
+		}
+		out = append(out, c)
+		r.Reaped++
+	}
+	r.occupancy.Set(uint64(r.Inflight()))
+	return out, nil
+}
+
+// Serve is the server's poll loop: drain every attached ring, and when
+// all are empty wait adaptively — spin reading the submission tails, then
+// arm the doorbell flags and HLT until a client's doorbell (or Close)
+// kicks the thread. Runs on a dedicated thread of the server process;
+// returns nil after Close once the rings are drained, or the first
+// dispatch error.
+func (rs *RingServer) Serve(env *mk.Env) error {
+	if env.P != rs.srv.Proc {
+		return fmt.Errorf("core: ring server for %s serving from process %s",
+			rs.srv.Proc.Name, env.P.Name)
+	}
+	for {
+		env.T.Checkpoint()
+		progressed := false
+		for _, r := range rs.rings {
+			n, err := r.serveDrain(env)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		if rs.closed {
+			return nil
+		}
+		env.AdaptiveWait(&rs.parker, rs.pol, func() bool {
+			if rs.closed {
+				return true
+			}
+			for _, r := range rs.rings {
+				if readCtl(env, r.conn.ServerBuf, ctlSQTail) != r.srvSeq {
+					return true
+				}
+			}
+			return false
+		}, func() {
+			for _, r := range rs.rings {
+				writeCtl(env, r.conn.ServerBuf, ctlNeedDoorbell, 1)
+			}
+		}, func() {
+			for _, r := range rs.rings {
+				writeCtl(env, r.conn.ServerBuf, ctlNeedDoorbell, 0)
+			}
+		})
+	}
+}
+
+// Close marks the poll loop for shutdown and kicks it awake (shutdown
+// bookkeeping: no IPI is modeled). The loop drains any remaining
+// submissions before returning. Callers stop submitting first.
+func (rs *RingServer) Close(env *mk.Env) {
+	rs.closed = true
+	env.K.CloseParker(env.T.Core, &rs.parker)
+}
+
+// serveDrain dispatches every pending submission of one ring: charged
+// entry read, per-entry bounds validation (a client rewriting entries
+// after submission must still confine its payload to its slot), handler
+// dispatch, completion write. The completion tail publishes once per
+// drain, after which a parked reaper is kicked (cqTail write precedes the
+// clientWait flag read — the Dekker pairing of Reap's arm sequence).
+func (r *AsyncRing) serveDrain(env *mk.Env) (int, error) {
+	cpu := env.T.Core
+	srv := r.rs.srv
+	tail := readCtl(env, r.conn.ServerBuf, ctlSQTail)
+	if d := tail - r.srvSeq; d > uint32(r.QD) {
+		// A malicious client advanced the tail beyond its own ring; clamp
+		// to the window instead of chasing a fabricated cursor.
+		tail = r.srvSeq + uint32(r.QD)
+	}
+	n := 0
+	hdr := make([]byte, ringEntryLen)
+	for ; r.srvSeq != tail; r.srvSeq++ {
+		cpu.Tick(costRingDispatch)
+		idx := int(r.srvSeq % uint32(r.QD))
+		env.Read(r.conn.ServerBuf+hw.VA(r.sqeBase+idx*ringEntryLen), hdr, ringEntryLen)
+		regs, plen, seq := decodeRingEntry(hdr)
+		var out Response
+		if seq != r.srvSeq || plen < 0 || plen > r.SlotLen {
+			srv.Rejected++
+			r.rs.Bad++
+			out = Response{Regs: [4]uint64{RingStatusBadEntry}}
+		} else {
+			srv.Calls++
+			out = srv.Handler(env, Request{
+				Regs:      regs,
+				Len:       plen,
+				SharedBuf: r.conn.ServerBuf + hw.VA(r.payBase+idx*r.SlotLen),
+			})
+			if out.Len < 0 || out.Len > r.SlotLen {
+				return n, fmt.Errorf("core: ring reply %d length %d exceeds slot %d",
+					r.srvSeq, out.Len, r.SlotLen)
+			}
+		}
+		env.Write(r.conn.ServerBuf+hw.VA(r.cqeBase+idx*ringEntryLen),
+			encodeRingEntry(out.Regs, out.Len, r.srvSeq), ringEntryLen)
+		r.rs.Served++
+		n++
+	}
+	if n > 0 {
+		writeCtl(env, r.conn.ServerBuf, ctlCQTail, r.srvSeq)
+		// The poll loop is demonstrably awake: clear a doorbell flag left
+		// over from OpenRing (or a spurious arm) so flushes go back to the
+		// crossing-free path.
+		if readCtl(env, r.conn.ServerBuf, ctlNeedDoorbell) != 0 {
+			writeCtl(env, r.conn.ServerBuf, ctlNeedDoorbell, 0)
+		}
+		r.sb.RingOps += uint64(n)
+		if readCtl(env, r.conn.ServerBuf, ctlClientWait) != 0 {
+			writeCtl(env, r.conn.ServerBuf, ctlClientWait, 0)
+			env.K.WakeParker(cpu, &r.cliParker)
+		}
+	}
+	return n, nil
+}

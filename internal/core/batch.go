@@ -65,6 +65,14 @@ func (conn *Connection) Layout(n, cap int) (BatchLayout, error) {
 	if cap < 0 {
 		return BatchLayout{}, fmt.Errorf("core: negative batch payload capacity %d", cap)
 	}
+	// Reject oversized capacities before the rounding arithmetic below: a
+	// cap near MaxInt would wrap (cap + hw.LineSize - 1 goes negative),
+	// slip past the total-size check, and hand back slot offsets outside
+	// the shared buffer — silent ring corruption instead of an error.
+	if cap > conn.BufLen {
+		return BatchLayout{}, fmt.Errorf("core: batch payload capacity %d exceeds shared buffer %d",
+			cap, conn.BufLen)
+	}
 	if cap < batchSlotMin {
 		cap = batchSlotMin
 	}

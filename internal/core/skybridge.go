@@ -142,6 +142,9 @@ type SkyBridge struct {
 	RK *hv.Rootkernel
 
 	servers map[int]*Server
+	// ringServers[serverID] is the asynchronous poll loop attached to a
+	// server, if any (asyncring.go).
+	ringServers map[int]*RingServer
 	// bindings[client] lists the servers the client registered to.
 	bindings map[*mk.Process]map[int]*Connection
 	// tc tracks each thread's active direct-call chain: the EPT-context
@@ -165,20 +168,31 @@ type SkyBridge struct {
 	// BatchCalls counts batched crossings (DirectCallBatch with 2+
 	// requests): one trampoline round trip serving several calls.
 	BatchCalls uint64
+	// RingOps counts requests served through asynchronous rings (no
+	// crossing per request; see asyncring.go).
+	RingOps uint64
+	// RingDoorbells counts doorbell crossings taken; RingDoorbellsSkipped
+	// counts flushes that found the server awake and crossed nothing.
+	RingDoorbells        uint64
+	RingDoorbellsSkipped uint64
 }
 
 // New creates the SkyBridge facility over a booted Rootkernel.
 func New(k *mk.Kernel, rk *hv.Rootkernel) *SkyBridge {
 	sb := &SkyBridge{
-		K:        k,
-		RK:       rk,
-		servers:  make(map[int]*Server),
-		bindings: make(map[*mk.Process]map[int]*Connection),
-		tc:       make(map[*sim.Thread]*threadCtx),
-		rng:      rand.New(rand.NewSource(0x5B)), // deterministic key stream
+		K:           k,
+		RK:          rk,
+		servers:     make(map[int]*Server),
+		ringServers: make(map[int]*RingServer),
+		bindings:    make(map[*mk.Process]map[int]*Connection),
+		tc:          make(map[*sim.Thread]*threadCtx),
+		rng:         rand.New(rand.NewSource(0x5B)), // deterministic key stream
 	}
 	k.Mach.Obs.Bind("core.direct_calls", &sb.DirectCalls)
 	k.Mach.Obs.Bind("core.batch_calls", &sb.BatchCalls)
+	k.Mach.Obs.Bind("core.ring_ops", &sb.RingOps)
+	k.Mach.Obs.Bind("core.ring_doorbells", &sb.RingDoorbells)
+	k.Mach.Obs.Bind("core.ring_doorbells_skipped", &sb.RingDoorbellsSkipped)
 	return sb
 }
 

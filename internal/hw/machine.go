@@ -221,3 +221,21 @@ func (m *Machine) HostMemoEntries() int {
 // bound — along with all histograms. Cache/TLB contents are preserved; only
 // statistics reset. VMExits is intentionally excluded (ResetVMExitCounts).
 func (m *Machine) ResetStats() { m.Obs.ResetAll() }
+
+// AlignClocks advances every core's clock to the furthest-ahead core — a
+// barrier before a timed region. Setup phases charge unevenly (boot and
+// binding on one core, preloading on others); without the barrier, the
+// first cross-core wake of a measured phase makes the lagging thread
+// absorb the skew as apparent latency. Call it only between engine runs,
+// while no thread is executing.
+func (m *Machine) AlignClocks() {
+	var max uint64
+	for _, c := range m.Cores {
+		if c.Clock > max {
+			max = c.Clock
+		}
+	}
+	for _, c := range m.Cores {
+		c.Clock = max
+	}
+}

@@ -179,6 +179,14 @@ type Kernel struct {
 	Fastpaths uint64
 	Slowpaths uint64
 
+	// Adaptive-wakeup stats (wakeup.go): how waits resolved and what the
+	// spinning cost.
+	SpinWakes  uint64 // waits satisfied within the spin budget
+	Parks      uint64 // waits that gave up spinning and HLTed
+	LocalWakes uint64 // parked threads woken by a same-core waker
+	IPIWakes   uint64 // parked threads woken by a cross-core IPI
+	SpinCycles uint64 // total cycles spent polling before resolution
+
 	// BD, when non-nil, receives a cycle breakdown of kernel IPC work
 	// (used to regenerate Figure 7).
 	BD *Breakdown
@@ -196,6 +204,11 @@ func New(cfg Config, eng *sim.Engine) *Kernel {
 	k.Mach.Obs.Bind("mk.ipc_calls", &k.IPCCalls)
 	k.Mach.Obs.Bind("mk.fastpaths", &k.Fastpaths)
 	k.Mach.Obs.Bind("mk.slowpaths", &k.Slowpaths)
+	k.Mach.Obs.Bind("mk.wake_spin", &k.SpinWakes)
+	k.Mach.Obs.Bind("mk.wake_parks", &k.Parks)
+	k.Mach.Obs.Bind("mk.wake_local", &k.LocalWakes)
+	k.Mach.Obs.Bind("mk.wake_ipi", &k.IPIWakes)
+	k.Mach.Obs.Bind("mk.wake_spin_cycles", &k.SpinCycles)
 
 	// Allocate kernel text and data footprint frames.
 	k.textPages = 4

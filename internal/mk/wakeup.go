@@ -1,0 +1,165 @@
+package mk
+
+import (
+	"skybridge/internal/hw"
+	"skybridge/internal/sim"
+)
+
+// Adaptive wakeups: the synchronization layer under SkyBridge's
+// asynchronous rings. A waiter (a server poll loop with an empty
+// submission ring, a client with no completions to reap) first spins,
+// polling its ready condition through charged shared-buffer reads; once
+// the spin budget is exhausted it publishes an "I am going to sleep" flag,
+// re-checks the condition (Dekker-style, so a wakeup posted between the
+// flag write and the park is never lost), and HLTs. The other side, after
+// producing work, reads the flag and — only if it is set — kicks the
+// sleeper: an IPI when the sleeper lives on another core, a plain
+// scheduler wake on the same core.
+//
+// The spin budget is calibrated from the Table 2 cost model: parking
+// earlier than the cost of the IPI + interrupt delivery it forces the
+// waker and sleeper to pay (1913 + 600 cycles) can never win, so the
+// default budget spins exactly that long before sleeping.
+const (
+	// DefaultSpinBudget is the calibrated spin-before-HLT window:
+	// hw.CostIPI + hw.CostInterrupt cycles (the price of being woken the
+	// hard way).
+	DefaultSpinBudget = hw.CostIPI + hw.CostInterrupt
+	// DefaultSpinStep is the busy-poll loop body charge between ready()
+	// probes (compare + branch + pause).
+	DefaultSpinStep = 32
+)
+
+// WakePolicy parameterizes AdaptiveWait. The zero value means defaults.
+type WakePolicy struct {
+	SpinBudget uint64 // cycles to spin before parking (0 = DefaultSpinBudget)
+	SpinStep   uint64 // cycles charged per poll iteration (0 = DefaultSpinStep)
+}
+
+func (p WakePolicy) withDefaults() WakePolicy {
+	if p.SpinBudget == 0 {
+		p.SpinBudget = DefaultSpinBudget
+	}
+	if p.SpinStep == 0 {
+		p.SpinStep = DefaultSpinStep
+	}
+	return p
+}
+
+// WakeKind says how a waiter came back from AdaptiveWait.
+type WakeKind int
+
+// Wake kinds.
+const (
+	// WokeSpin: the condition turned true within the spin budget; the
+	// thread never parked.
+	WokeSpin WakeKind = iota
+	// WokeLocal: parked and woken by a same-core waker (no IPI needed —
+	// the cores share a scheduler queue).
+	WokeLocal
+	// WokeIPI: parked and woken by a cross-core IPI (the waker paid
+	// hw.CostIPI, the sleeper pays hw.CostInterrupt on resume).
+	WokeIPI
+	// WokeClose: parked and woken by shutdown bookkeeping (no hardware
+	// event is modeled; the waiter should observe its closed flag).
+	WokeClose
+)
+
+// Parker is one adaptive-wait sleep slot: at most one thread parks on it
+// at a time (the SPSC rings have exactly one server poll thread and one
+// client per ring side).
+type Parker struct {
+	wq sim.WaitQueue
+}
+
+// Waiting reports whether a thread is parked here.
+func (p *Parker) Waiting() bool { return p.wq.Len() > 0 }
+
+// AdaptiveWait blocks the environment's thread until ready() returns
+// true, spinning first and parking after pol.SpinBudget cycles. arm is
+// called (with the thread still runnable) just before the final ready
+// re-check and park — it must publish the wake-me flag the eventual waker
+// reads; disarm clears it after the wait ends. Both may be nil when the
+// waker kicks unconditionally. The arm -> re-check -> park sequence
+// contains no Checkpoint, so no producer can slip between the flag
+// becoming visible and the thread parking: any wakeup is either seen by
+// the re-check or delivered to the parked thread.
+func (e *Env) AdaptiveWait(p *Parker, pol WakePolicy, ready func() bool, arm, disarm func()) WakeKind {
+	pol = pol.withDefaults()
+	k, cpu := e.K, e.T.Core
+	start := cpu.Clock
+	for {
+		e.T.Checkpoint()
+		if ready() {
+			k.SpinWakes++
+			k.SpinCycles += cpu.Clock - start
+			return WokeSpin
+		}
+		if cpu.Clock-start >= pol.SpinBudget {
+			break
+		}
+		e.Compute(pol.SpinStep)
+	}
+	if arm != nil {
+		arm()
+	}
+	if ready() {
+		// The condition turned true while we were arming: take the spin
+		// exit rather than a wakeup that may never come.
+		if disarm != nil {
+			disarm()
+		}
+		k.SpinWakes++
+		k.SpinCycles += cpu.Clock - start
+		return WokeSpin
+	}
+	k.Parks++
+	k.SpinCycles += cpu.Clock - start
+	kind, _ := p.wq.Wait(e.T).(WakeKind)
+	if kind == WokeIPI {
+		// The sleeper pays interrupt delivery and dispatch on its core.
+		if err := cpu.Interrupt(); err != nil {
+			panic(err)
+		}
+	}
+	if disarm != nil {
+		disarm()
+	}
+	return kind
+}
+
+// WakeParker wakes the thread parked on p (if any), charging an IPI to
+// the calling core when the sleeper lives on a different core. It reports
+// whether a thread was actually woken — false means nobody was parked
+// (the would-be sleeper is still spinning and will see the condition
+// itself).
+func (k *Kernel) WakeParker(cpu *hw.CPU, p *Parker) bool {
+	return k.wakeParker(cpu, p, false)
+}
+
+// CloseParker is the shutdown variant of WakeParker: the sleeper comes
+// back with WokeClose and no IPI or interrupt is charged (teardown
+// bookkeeping, not a modeled hardware event).
+func (k *Kernel) CloseParker(cpu *hw.CPU, p *Parker) bool {
+	return k.wakeParker(cpu, p, true)
+}
+
+func (k *Kernel) wakeParker(cpu *hw.CPU, p *Parker, closing bool) bool {
+	th := p.wq.TakeWhere(func(*sim.Thread) bool { return true })
+	if th == nil {
+		return false
+	}
+	kind := WokeLocal
+	switch {
+	case closing:
+		kind = WokeClose
+	case th.Core.ID != cpu.ID:
+		k.Mach.SendIPI(cpu.ID, th.Core.ID)
+		kind = WokeIPI
+		k.IPIWakes++
+	default:
+		k.LocalWakes++
+	}
+	k.Eng.Wake(th, cpu.Clock, kind)
+	return true
+}

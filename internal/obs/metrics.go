@@ -17,6 +17,7 @@ import (
 type Registry struct {
 	counters map[string]*uint64
 	hists    map[string]*Histogram
+	gauges   map[string]*uint64
 }
 
 // NewRegistry creates an empty registry.
@@ -24,6 +25,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*uint64),
 		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*uint64),
 	}
 }
 
@@ -76,6 +78,40 @@ func (r *Registry) SumSuffix(suffix string) uint64 {
 	return total
 }
 
+// Gauge is a registry-owned point-in-time level — ring occupancy, queue
+// depth — as opposed to a monotonically accumulating counter. Gauges and
+// counters share the reset/snapshot lifecycle but live in separate
+// namespaces, so a snapshot can tell "how many are in flight right now"
+// apart from "how many ever happened".
+type Gauge struct{ p *uint64 }
+
+// Set stores the current level.
+func (g Gauge) Set(v uint64) { *g.p = v }
+
+// Add raises the level by n.
+func (g Gauge) Add(n uint64) { *g.p += n }
+
+// Value reads the level.
+func (g Gauge) Value() uint64 { return *g.p }
+
+// Gauge returns (creating if needed) a registry-owned gauge.
+func (r *Registry) Gauge(name string) Gauge {
+	if p, ok := r.gauges[name]; ok {
+		return Gauge{p: p}
+	}
+	p := new(uint64)
+	r.gauges[name] = p
+	return Gauge{p: p}
+}
+
+// GaugeValue reads a gauge by name (0 if absent).
+func (r *Registry) GaugeValue(name string) uint64 {
+	if p, ok := r.gauges[name]; ok {
+		return *p
+	}
+	return 0
+}
+
 // Histogram returns (creating if needed) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
 	h, ok := r.hists[name]
@@ -105,6 +141,9 @@ func (r *Registry) ResetAll() {
 	for _, p := range r.counters {
 		*p = 0
 	}
+	for _, p := range r.gauges {
+		*p = 0
+	}
 	for _, h := range r.hists {
 		h.Reset()
 	}
@@ -124,6 +163,7 @@ func (r *Registry) CounterNames() []string {
 // deterministic key order.
 type Snapshot struct {
 	Counters   map[string]uint64  `json:"counters"`
+	Gauges     map[string]uint64  `json:"gauges,omitempty"`
 	Histograms map[string]Summary `json:"histograms,omitempty"`
 }
 
@@ -132,6 +172,12 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{Counters: make(map[string]uint64, len(r.counters))}
 	for name, p := range r.counters {
 		s.Counters[name] = *p
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]uint64, len(r.gauges))
+		for name, p := range r.gauges {
+			s.Gauges[name] = *p
+		}
 	}
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]Summary, len(r.hists))
