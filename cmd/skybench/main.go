@@ -19,8 +19,12 @@
 //
 // -trace writes a Chrome trace-event JSON (open in Perfetto / chrome://
 // tracing; 1 timestamp unit = 1 simulated cycle, one track per simulated
-// core). -metrics writes every experiment's machine-readable records plus
-// per-op latency histograms.
+// core), including flow arrows that stitch each call's causal chain
+// across cores. -metrics writes every experiment's machine-readable
+// records plus per-op latency histograms. -report prints the per-call
+// phase-breakdown table (p50/p90/p99/p99.9 per phase, flight-recorder
+// tail dumps) and writes it as JSON; both -report outputs are
+// byte-deterministic for any -j.
 package main
 
 import (
@@ -97,6 +101,7 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON to this file")
 		metricsOut = flag.String("metrics", "", "write machine-readable experiment records (JSON) to this file")
+		reportOut  = flag.String("report", "", "write the per-call phase-breakdown report (JSON) to this file and print its table")
 
 		jobs      = flag.Int("j", 1, "run experiments on N parallel workers (output stays in declaration order, byte-identical for any N)")
 		hostCache = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
@@ -183,6 +188,9 @@ func main() {
 	}
 
 	if len(benchOuts) > 0 {
+		if *reportOut != "" || *traceOut != "" || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "skybench: note: -report/-trace/-metrics apply to experiment runs (-run), not -benchout; ignoring them")
+		}
 		if err := runBenchOuts(benchOuts, sel, opts, *jobs); err != nil {
 			fatal(err)
 		}
@@ -198,13 +206,22 @@ func main() {
 		fatal(err)
 	}
 
+	if *reportOut != "" {
+		rep := s.BuildReport()
+		fmt.Print(rep.Render())
+		if err := writeFile(*reportOut, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
 	if *traceOut != "" {
 		if err := writeFile(*traceOut, tracer.WriteChromeTrace); err != nil {
 			fatal(err)
 		}
-		if d := tracer.TotalDropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "skybench: trace buffers dropped %d events (raise obs.DefaultEventCap)\n", d)
-		}
+	}
+	if d := s.TotalDropped(); d > 0 {
+		// Loud and last: a lossy trace silently invalidates flow chains
+		// and the report's tail dumps.
+		fmt.Fprintf(os.Stderr, "skybench: WARNING: trace buffers dropped %d events — flow chains and -report dumps are incomplete (raise obs.DefaultEventCap)\n", d)
 	}
 	if *metricsOut != "" {
 		if err := writeFile(*metricsOut, s.WriteMetrics); err != nil {

@@ -9,6 +9,7 @@ import (
 	"skybridge/internal/core"
 	"skybridge/internal/kv"
 	"skybridge/internal/mk"
+	"skybridge/internal/obs"
 	"skybridge/internal/svc"
 	"skybridge/internal/ycsb"
 )
@@ -73,6 +74,14 @@ type AsyncCell struct {
 	// Ring occupancy over the run (mean/max of per-submit depth).
 	DepthMean float64 `json:"depth_mean,omitempty"`
 	DepthMax  uint64  `json:"depth_max,omitempty"`
+
+	// Depth digests the per-submit ring-depth distribution, every client
+	// ring's registry histogram merged (async cells only).
+	Depth *obs.Summary `json:"depth,omitempty"`
+	// Breakdown is the per-call phase attribution of the measurement
+	// window (internal/obs taxonomy: crossing, ring_wait, service,
+	// wakeup_delivery, client_spin, reap_delay).
+	Breakdown *obs.BreakdownSummary `json:"breakdown,omitempty"`
 }
 
 // AsyncResult holds the sweep.
@@ -256,6 +265,7 @@ func (s *Session) runAsyncCell(cfg AsyncConfig, w ycsb.Workload, cores, qd int) 
 	// drain closes the poll loops so the engine can retire them.
 	k.Mach.AlignClocks()
 	k.Mach.ResetStats()
+	s.callSite(label).Obs.Reset() // breakdown covers the window, not binding
 	baseDirect := world.SB.DirectCalls
 	baseRing, baseBells, baseSkip := world.SB.RingOps, world.SB.RingDoorbells, world.SB.RingDoorbellsSkipped
 	baseSpin, baseParks, baseLocal, baseIPIW := k.SpinWakes, k.Parks, k.LocalWakes, k.IPIWakes
@@ -399,21 +409,24 @@ func (s *Session) runAsyncCell(cfg AsyncConfig, w ycsb.Workload, cores, qd int) 
 		cell.CyclesPerOp = float64(sum) / float64(cfg.TotalOps)
 	}
 	if qd > 0 {
-		var dsum, dcount uint64
+		// Merge every client ring's per-submit depth histogram into the
+		// session registry (label + "/depth") so the sweep's occupancy
+		// distribution lands in the metrics document, and digest it into
+		// the cell for BENCH_async.json.
+		depth := s.hist(label + "/depth")
 		for _, a := range asyncKVs {
 			for _, c := range a.Rings {
-				d := c.Ring.Depth()
-				dsum += d.Sum()
-				dcount += d.Count()
-				if m := d.Max(); m > cell.DepthMax {
-					cell.DepthMax = m
-				}
+				depth.Merge(c.Ring.Depth())
 			}
 		}
-		if dcount > 0 {
-			cell.DepthMean = float64(dsum) / float64(dcount)
+		if depth.Count() > 0 {
+			cell.DepthMean = float64(depth.Sum()) / float64(depth.Count())
+			cell.DepthMax = depth.Max()
+			ds := depth.Summary()
+			cell.Depth = &ds
 		}
 	}
+	cell.Breakdown = s.breakdownOf(label)
 
 	reg := k.Mach.Obs
 	values := map[string]float64{
@@ -452,6 +465,7 @@ func (s *Session) runAsyncCell(cfg AsyncConfig, w ycsb.Workload, cores, qd int) 
 		CyclesPerOp: cell.CyclesPerOp,
 		Values:      values,
 		Latency:     s.latencyOf(label),
+		Breakdown:   cell.Breakdown,
 	})
 	return cell, nil
 }

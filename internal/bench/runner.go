@@ -134,13 +134,24 @@ func ExperimentNames() []string {
 }
 
 // Merge folds a completed sub-session into s: records append in call
-// order, histograms merge exactly (obs.Histogram.Merge), and the
-// sub-tracer's processes are adopted with continued pid numbering. Merging
+// order, histograms merge exactly (obs.Histogram.Merge), call sites
+// append in creation order, and the sub-tracer's processes are adopted
+// with continued pid numbering. Merging
 // per-experiment sessions in declaration order therefore reproduces a
 // serial single-session run byte-for-byte.
 func (s *Session) Merge(sub *Session) {
 	s.recs = append(s.recs, sub.recs...)
 	s.Reg.MergeHistograms(sub.Reg)
+	for _, cs := range sub.calls {
+		if i, ok := s.callIdx[cs.Label]; ok {
+			// Label collision (units never produce one in practice): fold
+			// the breakdowns exactly; the first site's flight dumps win.
+			s.calls[i].Obs.Breakdown.Merge(cs.Obs.Breakdown)
+			continue
+		}
+		s.callIdx[cs.Label] = len(s.calls)
+		s.calls = append(s.calls, cs)
+	}
 	if s.Trace != nil && sub.Trace != nil {
 		s.Trace.Adopt(sub.Trace)
 	}

@@ -232,6 +232,7 @@ func (s *Session) runScalingCell(cfg ScalingConfig, w ycsb.Workload, cores, batc
 	// rounds of up to B operations, reads and updates each submitted as
 	// one batch (one crossing per touched shard).
 	k.Mach.ResetStats()
+	s.callSite(label).Obs.Reset() // breakdown covers the window, not binding
 	baseCalls := make([]uint64, shards)
 	for i, id := range kvIDs {
 		if srv, ok := world.SB.Server(id); ok {
@@ -360,6 +361,7 @@ func (s *Session) runScalingCell(cfg ScalingConfig, w ycsb.Workload, cores, batc
 		CyclesPerOp: cell.CyclesPerOp,
 		Values:      values,
 		Latency:     s.latencyOf(label),
+		Breakdown:   s.breakdownOf(label),
 	})
 	return cell, nil
 }

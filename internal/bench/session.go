@@ -25,6 +25,10 @@ type Record struct {
 	// Latency is the per-op latency distribution of the measurement
 	// window, when the experiment observes individual operations.
 	Latency *obs.Summary `json:"latency,omitempty"`
+	// Breakdown is the per-call phase attribution of the measurement
+	// window (where the cycles of one call went), when the experiment's
+	// world publishes call records.
+	Breakdown *obs.BreakdownSummary `json:"breakdown,omitempty"`
 }
 
 // Session runs experiments with shared observability state: an optional
@@ -40,21 +44,63 @@ type Session struct {
 	// "<experiment>/<cell>".
 	Reg *obs.Registry
 
-	recs []Record
+	recs    []Record
+	calls   []*CallSite
+	callIdx map[string]int
+}
+
+// CallSite is one world's per-call attribution sink: a phase breakdown
+// plus an always-on flight recorder, labelled like the world that feeds
+// it. Sites are created by world() in experiment order, so the session's
+// site list is deterministic for any worker count.
+type CallSite struct {
+	Label string
+	Obs   *obs.CallObserver
 }
 
 // NewSession creates a session; trace may be nil (metrics only).
 func NewSession(trace *obs.Tracer) *Session {
-	return &Session{Trace: trace, Reg: obs.NewRegistry()}
+	return &Session{Trace: trace, Reg: obs.NewRegistry(), callIdx: map[string]int{}}
 }
 
-// world builds a World, attaching it to the session tracer under label.
+// world builds a World, attaching it to the session tracer under label and
+// publishing its SkyBridge call records to the session's site for label.
 func (s *Session) world(label string, cfg WorldConfig) *World {
 	if s.Trace != nil {
 		cfg.Trace = s.Trace
 		cfg.Label = label
 	}
+	if cfg.SkyBridge {
+		cfg.Calls = s.callSite(label).Obs
+	}
 	return MustWorld(cfg)
+}
+
+// callSite returns (creating if needed) the session call site for label.
+func (s *Session) callSite(label string) *CallSite {
+	if i, ok := s.callIdx[label]; ok {
+		return s.calls[i]
+	}
+	cs := &CallSite{Label: label, Obs: &obs.CallObserver{
+		Breakdown: obs.NewBreakdown(),
+		Flight:    obs.NewFlightRecorder(obs.FlightConfig{}),
+	}}
+	s.callIdx[label] = len(s.calls)
+	s.calls = append(s.calls, cs)
+	return cs
+}
+
+// CallSites returns the session's call sites in creation order.
+func (s *Session) CallSites() []*CallSite { return s.calls }
+
+// breakdownOf digests a site's phase breakdown (nil if it saw no calls).
+func (s *Session) breakdownOf(label string) *obs.BreakdownSummary {
+	i, ok := s.callIdx[label]
+	if !ok || s.calls[i].Obs.Breakdown.Calls() == 0 {
+		return nil
+	}
+	sum := s.calls[i].Obs.Breakdown.Summary()
+	return &sum
 }
 
 // hist returns the session histogram for one experiment cell.
@@ -68,6 +114,16 @@ func (s *Session) latencyOf(name string) *obs.Summary {
 	}
 	sum := h.Summary()
 	return &sum
+}
+
+// TotalDropped surfaces the tracer's dropped-event count (0 when the
+// session is untraced). Nonzero means trace spans and flow chains were
+// discarded and the trace is not trustworthy.
+func (s *Session) TotalDropped() uint64 {
+	if s.Trace == nil {
+		return 0
+	}
+	return s.Trace.TotalDropped()
 }
 
 // record appends one result record.

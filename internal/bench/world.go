@@ -43,6 +43,10 @@ type WorldConfig struct {
 	// one trace process named Label (one track per core).
 	Trace *obs.Tracer
 	Label string
+
+	// Calls, when non-nil, receives one CallRecord per completed SkyBridge
+	// call (sb.Calls); costs one pointer test per call when nil.
+	Calls *obs.CallObserver
 }
 
 // NewWorld assembles a machine, kernel, and (optionally) the Rootkernel
@@ -74,6 +78,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	if cfg.SkyBridge {
 		w.SB = core.New(k, w.RK)
+		w.SB.Calls = cfg.Calls
 	}
 	return w, nil
 }

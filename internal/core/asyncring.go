@@ -151,6 +151,23 @@ type AsyncRing struct {
 	depth     *obs.Histogram
 	occupancy obs.Gauge
 
+	// ringID seeds this ring's deterministic flow IDs (creation order).
+	ringID uint32
+
+	// Host-side per-slot attribution stamps, indexed seq % QD and valid
+	// for a sequence from its Submit until it is reaped (Submit of seq
+	// s+QD cannot happen before s is reaped, so slots never alias live
+	// sequences). Allocated — and written — only when a CallObserver is
+	// attached; tracing alone uses none of them.
+	subT   []uint64 // Submit entry time
+	pubT   []uint64 // tail-publish time (Submit exit)
+	flushT []uint64 // time the submission was made visible (Flush/doorbell)
+	svcS   []uint64 // server handler start
+	svcE   []uint64 // server handler end
+	svcSeq []uint32 // sequence the svcS/svcE slot entry belongs to
+	// flushSeq is the first sequence not yet covered by a Flush.
+	flushSeq uint32
+
 	// Client-side stats.
 	Submitted        uint64
 	Reaped           uint64
@@ -196,11 +213,24 @@ func (sb *SkyBridge) OpenRing(env *mk.Env, serverID, qd, payloadCap int, pol mk.
 		return nil, fmt.Errorf("core: shared buffer %d too small for ring of %d x %d-byte slots",
 			conn.BufLen, qd, slot)
 	}
+	sb.ringSeq++
 	r := &AsyncRing{
 		sb: sb, conn: conn, rs: rs, serverID: serverID,
 		QD: qd, SlotLen: slot,
 		sqeBase: sqeBase, cqeBase: cqeBase, payBase: payBase,
-		pol: pol,
+		pol:    pol,
+		ringID: sb.ringSeq,
+	}
+	if sb.Calls != nil {
+		r.subT = make([]uint64, qd)
+		r.pubT = make([]uint64, qd)
+		r.flushT = make([]uint64, qd)
+		r.svcS = make([]uint64, qd)
+		r.svcE = make([]uint64, qd)
+		r.svcSeq = make([]uint32, qd)
+		for i := range r.svcSeq {
+			r.svcSeq[i] = ^uint32(0) // no sequence served into this slot yet
+		}
 	}
 	name := fmt.Sprintf("async.%s.s%d", conn.Client.Name, serverID)
 	r.depth = sb.K.Mach.Obs.Histogram(name + ".depth")
@@ -252,6 +282,13 @@ func writeCtl(env *mk.Env, base hw.VA, off int, v uint32) {
 	env.Write(base+hw.VA(off), b[:], 8)
 }
 
+// flowID returns the deterministic flow ID of submission seq on this
+// ring: ring creation order in the middle bits, the free-running
+// submission sequence in the low bits.
+func (r *AsyncRing) flowID(seq uint32) uint64 {
+	return obs.FlowAsync | uint64(r.ringID)<<32 | uint64(seq)
+}
+
 // Inflight returns submissions not yet reaped.
 func (r *AsyncRing) Inflight() int { return int(r.subSeq - r.reapSeq) }
 
@@ -277,6 +314,11 @@ func (r *AsyncRing) Submit(env *mk.Env, req Request) error {
 	if req.Len < 0 || req.Len > r.SlotLen {
 		return fmt.Errorf("core: ring payload %d exceeds slot %d", req.Len, r.SlotLen)
 	}
+	cpu := env.T.Core
+	t0 := cpu.Clock
+	if tr := cpu.Trace; tr != nil {
+		tr.FlowStart(t0, r.flowID(r.subSeq), "flow.async", "flow")
+	}
 	idx := int(r.subSeq % uint32(r.QD))
 	slotVA := r.conn.ClientBuf + hw.VA(r.payBase+idx*r.SlotLen)
 	if req.Len > 0 && req.Buf != slotVA {
@@ -289,6 +331,13 @@ func (r *AsyncRing) Submit(env *mk.Env, req Request) error {
 	r.subSeq++
 	writeCtl(env, r.conn.ClientBuf, ctlSQTail, r.subSeq)
 	r.Submitted++
+	if r.subT != nil {
+		// Until a Flush covers it, the publish time doubles as the
+		// visibility time (an awake server sees the tail write itself).
+		r.subT[idx] = t0
+		r.pubT[idx] = cpu.Clock
+		r.flushT[idx] = cpu.Clock
+	}
 	d := uint64(r.Inflight())
 	r.depth.Observe(d)
 	r.occupancy.Set(d)
@@ -306,6 +355,9 @@ func (r *AsyncRing) Flush(env *mk.Env) error {
 	if readCtl(env, r.conn.ClientBuf, ctlNeedDoorbell) == 0 {
 		r.DoorbellsSkipped++
 		r.sb.RingDoorbellsSkipped++
+		// The tail write already made these visible; their publish stamp
+		// stands as the visibility time.
+		r.flushSeq = r.subSeq
 		return nil
 	}
 	return r.doorbell(env, 0, false)
@@ -336,6 +388,13 @@ func (r *AsyncRing) doorbell(env *mk.Env, forcedKey uint64, useForced bool) erro
 
 	tr := cpu.Trace
 	span := tr.Begin(cpu.Clock, "skybridge.doorbell", "core")
+
+	// Tag the crossing with the oldest submission this doorbell makes
+	// visible, so the IPI and any EPTP work join that call's flow chain.
+	if r.flushSeq != r.subSeq {
+		cpu.FlowID = r.flowID(r.flushSeq)
+		defer func() { cpu.FlowID = 0 }()
+	}
 
 	// --- client-side trampoline ---
 	if err := cpu.TouchCode(TrampolineVA, trampEntryLen); err != nil {
@@ -407,6 +466,12 @@ func (r *AsyncRing) doorbell(env *mk.Env, forcedKey uint64, useForced bool) erro
 	}
 	r.Doorbells++
 	sb.RingDoorbells++
+	if r.flushT != nil {
+		for s := r.flushSeq; s != r.subSeq; s++ {
+			r.flushT[s%uint32(r.QD)] = cpu.Clock
+		}
+	}
+	r.flushSeq = r.subSeq
 	tr.End(span, cpu.Clock, obs.U("server", uint64(r.serverID)))
 	return nil
 }
@@ -451,6 +516,10 @@ func (r *AsyncRing) Reap(env *mk.Env, minN int) ([]Completion, error) {
 	// parked thread returns on the waker's kick *without* a final ready
 	// call — so re-read the tail after every wait and loop until the
 	// quorum is really there (a spurious wake just waits again).
+	// totSpin/totDelivery accumulate the waits' cycle decomposition for
+	// the attribution records; wake remembers how the last wait resolved.
+	var totSpin, totDelivery uint64
+	var wake mk.WakeKind
 	for int(avail) < minN {
 		var verr error
 		env.AdaptiveWait(&r.cliParker, r.pol, func() bool {
@@ -461,6 +530,9 @@ func (r *AsyncRing) Reap(env *mk.Env, minN int) ([]Completion, error) {
 		}, func() {
 			writeCtl(env, r.conn.ClientBuf, ctlClientWait, 0)
 		})
+		totSpin += r.cliParker.Last.Spin
+		totDelivery += r.cliParker.Last.Delivery
+		wake = r.cliParker.Last.Kind
 		if verr == nil && int(avail) < minN {
 			avail, verr = r.availCompletions(env)
 		}
@@ -490,11 +562,78 @@ func (r *AsyncRing) Reap(env *mk.Env, minN int) ([]Completion, error) {
 			c.Data = make([]byte, plen)
 			env.Read(r.conn.ClientBuf+hw.VA(r.payBase+idx*r.SlotLen), c.Data, plen)
 		}
+		if tr := env.T.Core.Trace; tr != nil {
+			tr.FlowEnd(env.T.Core.Clock, r.flowID(r.reapSeq), "flow.async", "flow")
+		}
 		out = append(out, c)
 		r.Reaped++
 	}
 	r.occupancy.Set(uint64(r.Inflight()))
+	if o := r.sb.Calls; o != nil && r.subT != nil {
+		r.observeReaped(env.T.Core.Clock, out, totSpin, totDelivery, wake, o)
+	}
 	return out, nil
+}
+
+// observeReaped assembles one attribution record per completion just
+// reaped. Each record partitions the call's [submit, reap-return) span
+// with a clamped monotone boundary chain, so the phases sum to the
+// end-to-end latency exactly even though client spinning overlaps server
+// service in wall time:
+//
+//	b0 submit entry    -> crossing   -> b1 visibility (publish/doorbell)
+//	b1                 -> ring_wait  -> b2 handler start (clamped)
+//	b2                 -> service    -> b3 handler end (clamped)
+//	b3                 -> wakeup     -> b4 = b3 + delivery (clamped)
+//	b4                 -> client_spin-> b5 = b4 + spin (clamped)
+//	b5                 -> reap_delay -> end
+//
+// The wait cycles (spin, delivery) accumulated across this Reap's
+// AdaptiveWaits are carved out of each record's post-service tail;
+// whatever remains is the time the finished completion sat unreaped.
+func (r *AsyncRing) observeReaped(end uint64, out []Completion, spin, delivery uint64, wake mk.WakeKind, o *obs.CallObserver) {
+	qd := uint32(r.QD)
+	for i := range out {
+		seq := out[i].Seq
+		idx := seq % qd
+		b0 := r.subT[idx]
+		b1 := clampRange(r.flushT[idx], b0, end)
+		b2, b3 := b1, b1
+		if r.svcSeq[idx] == seq {
+			b2 = clampRange(r.svcS[idx], b1, end)
+			b3 = clampRange(r.svcE[idx], b2, end)
+		}
+		b4 := b3 + min64(delivery, end-b3)
+		b5 := b4 + min64(spin, end-b4)
+		rec := obs.CallRecord{
+			Flow: r.flowID(seq), Kind: obs.CallAsync, Seq: uint64(seq),
+			Server: r.serverID, Start: b0, End: end, Wake: uint8(wake),
+		}
+		rec.Phases[obs.PhaseCrossing] = b1 - b0
+		rec.Phases[obs.PhaseRingWait] = b2 - b1
+		rec.Phases[obs.PhaseService] = b3 - b2
+		rec.Phases[obs.PhaseWakeup] = b4 - b3
+		rec.Phases[obs.PhaseClientSpin] = b5 - b4
+		rec.Phases[obs.PhaseReapDelay] = end - b5
+		o.Observe(&rec)
+	}
+}
+
+func clampRange(v, lo, hi uint64) uint64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Serve is the server's poll loop: drain every attached ring, and when
@@ -572,12 +711,20 @@ func (r *AsyncRing) serveDrain(env *mk.Env) (int, error) {
 		tail = r.srvSeq + uint32(r.QD)
 	}
 	n := 0
+	tr := cpu.Trace
 	hdr := make([]byte, ringEntryLen)
 	for ; r.srvSeq != tail; r.srvSeq++ {
 		cpu.Tick(costRingDispatch)
+		if tr != nil {
+			tr.FlowStep(cpu.Clock, r.flowID(r.srvSeq), "flow.drain", "flow")
+		}
 		idx := int(r.srvSeq % uint32(r.QD))
 		env.Read(r.conn.ServerBuf+hw.VA(r.sqeBase+idx*ringEntryLen), hdr, ringEntryLen)
 		regs, plen, seq := decodeRingEntry(hdr)
+		if r.svcSeq != nil {
+			r.svcS[idx] = cpu.Clock
+			r.svcSeq[idx] = r.srvSeq
+		}
 		var out Response
 		if seq != r.srvSeq || plen < 0 || plen > r.SlotLen {
 			srv.Rejected++
@@ -594,6 +741,12 @@ func (r *AsyncRing) serveDrain(env *mk.Env) (int, error) {
 				return n, fmt.Errorf("core: ring reply %d length %d exceeds slot %d",
 					r.srvSeq, out.Len, r.SlotLen)
 			}
+		}
+		if r.svcSeq != nil {
+			r.svcE[idx] = cpu.Clock
+		}
+		if tr != nil {
+			tr.FlowStep(cpu.Clock, r.flowID(r.srvSeq), "flow.service", "flow")
 		}
 		env.Write(r.conn.ServerBuf+hw.VA(r.cqeBase+idx*ringEntryLen),
 			encodeRingEntry(out.Regs, out.Len, r.srvSeq), ringEntryLen)

@@ -151,6 +151,14 @@ func (sb *SkyBridge) DirectCallBatch(env *mk.Env, serverID int, reqs []Request) 
 	span := tr.Begin(cpu.Clock, "skybridge.batch", "core")
 	t0 := cpu.Clock
 
+	var fid uint64
+	if tr != nil || sb.Calls != nil {
+		fid = obs.FlowBatch | (sb.BatchCalls + 1)
+	}
+	if tr != nil {
+		tr.FlowStart(t0, fid, "flow.batch", "flow")
+	}
+
 	// --- client-side trampoline: stage the ring ---
 	if err := cpu.TouchCode(TrampolineVA, trampEntryLen); err != nil {
 		tr.End(span, cpu.Clock, obs.U("error", 1))
@@ -182,16 +190,20 @@ func (sb *SkyBridge) DirectCallBatch(env *mk.Env, serverID int, reqs []Request) 
 		tc = &threadCtx{proc: env.P, stack: []int{0}}
 		sb.tc[env.T] = tc
 	}
+	cpu.FlowID = fid
 	slot, _, err := sb.RK.ResolveSlot(cpu, tc.proc, serverID, tc.stack)
 	if err != nil {
+		cpu.FlowID = 0
 		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return nil, fmt.Errorf("core: slot resolve for server %d: %w", serverID, err)
 	}
 	tTramp := cpu.Clock
 	if err := cpu.VMFunc(0, slot); err != nil {
+		cpu.FlowID = 0
 		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return nil, fmt.Errorf("core: vmfunc to server %d (slot %d): %w", serverID, slot, err)
 	}
+	cpu.FlowID = 0
 	sb.afterSwitch(cpu)
 	tc.stack = append(tc.stack, slot)
 	tSwitch := cpu.Clock
@@ -215,9 +227,21 @@ func (sb *SkyBridge) DirectCallBatch(env *mk.Env, serverID int, reqs []Request) 
 	}
 
 	// --- dispatch the ring ---
+	// Per-request handler windows for the attribution records: requests
+	// late in the batch wait (ring-wait) behind earlier handlers, and
+	// early ones wait (reap-delay) for the batch to turn around.
+	d0 := cpu.Clock
+	var hs, he []uint64
+	if sb.Calls != nil {
+		hs = make([]uint64, len(reqs))
+		he = make([]uint64, len(reqs))
+	}
 	hdr := make([]byte, batchHdrLen)
 	for i := range reqs {
 		cpu.Tick(costBatchDispatch)
+		if tr != nil {
+			tr.FlowStep(cpu.Clock, fid, "flow.dispatch", "flow")
+		}
 		senv.Read(conn.ServerBuf+hw.VA(layout.HdrOff(i)), hdr, batchHdrLen)
 		regs, plen := decodeEntry(hdr)
 		// Per-request validation, server side: a ring entry rewritten by
@@ -229,11 +253,17 @@ func (sb *SkyBridge) DirectCallBatch(env *mk.Env, serverID int, reqs []Request) 
 			return nil, fmt.Errorf("core: batch entry %d length %d exceeds slot %d", i, plen, layout.SlotLen)
 		}
 		srv.Calls++
+		if hs != nil {
+			hs[i] = cpu.Clock
+		}
 		resp := srv.Handler(senv, Request{
 			Regs:      regs,
 			Len:       plen,
 			SharedBuf: conn.ServerBuf + hw.VA(layout.PayloadOff(i)),
 		})
+		if he != nil {
+			he[i] = cpu.Clock
+		}
 		if resp.Len > layout.SlotLen {
 			sb.switchBack(env, tc)
 			tr.End(span, cpu.Clock, obs.U("error", 1))
@@ -272,6 +302,7 @@ func (sb *SkyBridge) DirectCallBatch(env *mk.Env, serverID int, reqs []Request) 
 		tr.Complete(tTramp, tSwitch-tTramp, "phase.vmfunc", "core")
 		tr.Complete(tSwitch, tServer-tSwitch, "phase.server", "core")
 		tr.Complete(tServer, cpu.Clock-tServer, "phase.return", "core")
+		tr.FlowEnd(cpu.Clock, fid, "flow.batch", "flow")
 		tr.End(span, cpu.Clock,
 			obs.U("server", uint64(serverID)),
 			obs.U("batch", uint64(len(reqs))),
@@ -279,6 +310,26 @@ func (sb *SkyBridge) DirectCallBatch(env *mk.Env, serverID int, reqs []Request) 
 			obs.U("vmfunc", tSwitch-tTramp),
 			obs.U("server_cycles", tServer-tSwitch),
 			obs.U("return", cpu.Clock-tServer))
+	}
+	if o := sb.Calls; o != nil {
+		// One record per request, all sharing the batch's [t0, end) span.
+		// Exact partition per request i:
+		//   crossing  = (d0-t0) + (end-dEnd)   shared staging + turnaround
+		//   ring_wait = hs[i]-d0               convoy behind earlier handlers
+		//   service   = he[i]-hs[i]
+		//   reap_delay= dEnd-he[i]             done, batch still dispatching
+		end, dEnd := cpu.Clock, tServer
+		for i := range reqs {
+			rec := obs.CallRecord{
+				Flow: fid, Kind: obs.CallBatch, Seq: sb.BatchCalls,
+				Server: serverID, Start: t0, End: end,
+			}
+			rec.Phases[obs.PhaseCrossing] = (d0 - t0) + (end - dEnd)
+			rec.Phases[obs.PhaseRingWait] = hs[i] - d0
+			rec.Phases[obs.PhaseService] = he[i] - hs[i]
+			rec.Phases[obs.PhaseReapDelay] = dEnd - he[i]
+			o.Observe(&rec)
+		}
 	}
 	return resps, nil
 }

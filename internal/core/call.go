@@ -55,6 +55,16 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 	span := tr.Begin(cpu.Clock, "skybridge.call", "core")
 	t0 := cpu.Clock
 
+	// Deterministic flow ID: the ordinal this call will get on success.
+	// Computed only when someone is listening.
+	var fid uint64
+	if tr != nil || sb.Calls != nil {
+		fid = obs.FlowSync | (sb.DirectCalls + 1)
+	}
+	if tr != nil {
+		tr.FlowStart(t0, fid, "flow.call", "flow")
+	}
+
 	// --- client-side trampoline ---
 	if err := cpu.TouchCode(TrampolineVA, trampEntryLen); err != nil {
 		tr.End(span, cpu.Clock, obs.U("error", 1))
@@ -95,8 +105,10 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 		tc = &threadCtx{proc: env.P, stack: []int{0}}
 		sb.tc[env.T] = tc
 	}
+	cpu.FlowID = fid // tag slot-resolve hypercalls with the call's flow
 	slot, _, err := sb.RK.ResolveSlot(cpu, tc.proc, serverID, tc.stack)
 	if err != nil {
+		cpu.FlowID = 0
 		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return Response{}, fmt.Errorf("core: slot resolve for server %d: %w", serverID, err)
 	}
@@ -104,9 +116,11 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 
 	// --- the EPTP switch ---
 	if err := cpu.VMFunc(0, slot); err != nil {
+		cpu.FlowID = 0
 		tr.End(span, cpu.Clock, obs.U("error", 1))
 		return Response{}, fmt.Errorf("core: vmfunc to server %d (slot %d): %w", serverID, slot, err)
 	}
+	cpu.FlowID = 0
 	sb.afterSwitch(cpu)
 	tc.stack = append(tc.stack, slot)
 	tSwitch := cpu.Clock
@@ -170,12 +184,25 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 		tr.Complete(tTramp, tSwitch-tTramp, "phase.vmfunc", "core")
 		tr.Complete(tSwitch, tServer-tSwitch, "phase.server", "core")
 		tr.Complete(tServer, cpu.Clock-tServer, "phase.return", "core")
+		tr.FlowEnd(cpu.Clock, fid, "flow.call", "flow")
 		tr.End(span, cpu.Clock,
 			obs.U("server", uint64(serverID)),
 			obs.U("trampoline", tTramp-t0),
 			obs.U("vmfunc", tSwitch-tTramp),
 			obs.U("server_cycles", tServer-tSwitch),
 			obs.U("return", cpu.Clock-tServer))
+	}
+	if o := sb.Calls; o != nil {
+		// Exact partition of [t0, now): the handler's cycles are service,
+		// everything else on the round trip is crossing work.
+		end := cpu.Clock
+		rec := obs.CallRecord{
+			Flow: fid, Kind: obs.CallSync, Seq: sb.DirectCalls,
+			Server: serverID, Start: t0, End: end,
+		}
+		rec.Phases[obs.PhaseService] = tServer - tSwitch
+		rec.Phases[obs.PhaseCrossing] = (end - t0) - (tServer - tSwitch)
+		o.Observe(&rec)
 	}
 	return resp, nil
 }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"skybridge/internal/mk"
+	"skybridge/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestAsyncFlowChainGolden drives exactly one async call across two cores
+// — client submit on core 0, parked server woken by the doorbell IPI on
+// core 1, completion reaped back on core 0 — and pins the exported
+// Perfetto flow chain: one flow id stitching start → steps → end across
+// both tracks in timestamp order. Clocks are aligned before the measured
+// call (the bench measurement protocol), so cross-core timestamps share
+// one timeline.
+func TestAsyncFlowChainGolden(t *testing.T) {
+	eng, k, _, sb := newWorld(t)
+	tr := obs.NewTracer()
+	k.Mach.AttachTrace(tr, "ipc")
+	server := k.NewProcess("server")
+	client := k.NewProcess("client")
+	id := registerEcho(t, eng, k, sb, server, k.Mach.Cores[0])
+	rs, err := sb.NewRingServer(id, mk.WakePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bind phase: register the client and open the ring, then align the
+	// core clocks so the measured call's cross-core timestamps compare.
+	var ring *AsyncRing
+	client.Spawn("bind", k.Mach.Cores[0], func(env *mk.Env) {
+		if _, err := sb.RegisterClient(env, id); err != nil {
+			t.Errorf("register client: %v", err)
+			return
+		}
+		ring, err = sb.OpenRing(env, id, 4, 64, mk.WakePolicy{})
+		if err != nil {
+			t.Errorf("open ring: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Mach.AlignClocks()
+
+	server.Spawn("poll", k.Mach.Cores[1], func(env *mk.Env) {
+		if err := rs.Serve(env); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	client.Spawn("drive", k.Mach.Cores[0], func(env *mk.Env) {
+		defer rs.Close(env)
+		// Idle until the cross-core poll thread exhausts its spin budget
+		// and parks: the flush below must take the doorbell crossing and
+		// IPI the server awake, putting the whole causal chain on record.
+		for !rs.parker.Waiting() {
+			env.T.Checkpoint()
+			env.Compute(64)
+		}
+		if err := ring.Submit(env, Request{Regs: [4]uint64{41}}); err != nil {
+			t.Errorf("submit: %v", err)
+			return
+		}
+		if err := ring.Flush(env); err != nil {
+			t.Errorf("flush: %v", err)
+			return
+		}
+		if _, err := ring.Reap(env, 1); err != nil {
+			t.Errorf("reap: %v", err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+			ID   string  `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+
+	// The one submission on the first ring: seq 0 in ring 1's namespace.
+	fid := obs.FlowAsync | uint64(1)<<32
+	wantSuffix := fmt.Sprintf(".%x", fid)
+	type flowEv struct {
+		ph, name string
+		tid      int
+		ts       float64
+	}
+	var evs []flowEv
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "s" && ev.Ph != "t" && ev.Ph != "f" {
+			continue
+		}
+		if !strings.HasSuffix(ev.ID, wantSuffix) {
+			continue
+		}
+		evs = append(evs, flowEv{ev.Ph, ev.Name, ev.Tid, ev.Ts})
+	}
+	// The export is track-major; the causal chain reads in time order.
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
+
+	var chain []string
+	clientTid, serverTid := -1, -1
+	for _, ev := range evs {
+		switch ev.name {
+		case "flow.async":
+			clientTid = ev.tid
+		case "flow.drain", "flow.service":
+			serverTid = ev.tid
+		}
+		chain = append(chain, fmt.Sprintf("%s %s tid%d ts%d", ev.ph, ev.name, ev.tid, int64(ev.ts)))
+	}
+	if len(chain) < 4 {
+		t.Fatalf("flow chain too short: %q", chain)
+	}
+	if first := chain[0]; !strings.HasPrefix(first, "s flow.async tid0") {
+		t.Errorf("chain starts with %q, want the client's flow start", first)
+	}
+	if last := chain[len(chain)-1]; !strings.HasPrefix(last, "f flow.async tid0") {
+		t.Errorf("chain ends with %q, want the client's flow end", last)
+	}
+	if clientTid < 0 || serverTid < 0 || clientTid == serverTid {
+		t.Errorf("chain did not cross cores: client tid %d, server tid %d", clientTid, serverTid)
+	}
+
+	got := []byte(strings.Join(chain, "\n") + "\n")
+	golden := filepath.Join("testdata", "flowchain_golden.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("flow chain differs from %s (run with -update to regenerate)\ngot:\n%s", golden, got)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"skybridge/internal/hv"
 	"skybridge/internal/hw"
 	"skybridge/internal/mk"
+	"skybridge/internal/obs"
 	"skybridge/internal/rewrite"
 	"skybridge/internal/sim"
 )
@@ -175,6 +176,15 @@ type SkyBridge struct {
 	// counts flushes that found the server awake and crossed nothing.
 	RingDoorbells        uint64
 	RingDoorbellsSkipped uint64
+
+	// Calls, when non-nil, receives one phase-attribution record per
+	// completed sync, batch, and async call (observability layer; see
+	// obs.CallObserver). Nil costs one pointer test per call.
+	Calls *obs.CallObserver
+
+	// ringSeq numbers opened rings in creation order; it seeds the
+	// deterministic flow IDs of async submissions.
+	ringSeq uint32
 }
 
 // New creates the SkyBridge facility over a booted Rootkernel.

@@ -131,6 +131,9 @@ func (rk *Rootkernel) loadSlot(cpu *hw.CPU, args *LoadSlotArgs) error {
 		cpu.Trace.Instant(cpu.Clock, "eptp.load_slot", "hv",
 			obs.U("server", uint64(args.ServerID)), obs.U("slot", uint64(victim)),
 			obs.U("evicted", evicted))
+		if fid := cpu.FlowID; fid != 0 {
+			cpu.Trace.FlowStep(cpu.Clock, fid, "flow.eptp_load", "flow")
+		}
 	}
 	return nil
 }

@@ -421,6 +421,9 @@ func (rk *Rootkernel) installList(cpu *hw.CPU, p *mk.Process) {
 	rk.ListInstall++
 	if cpu.Trace != nil {
 		cpu.Trace.Instant(cpu.Clock, "eptp.install", "hv", obs.U("pid", uint64(p.PID)))
+		if fid := cpu.FlowID; fid != 0 {
+			cpu.Trace.FlowStep(cpu.Clock, fid, "flow.eptp_install", "flow")
+		}
 	}
 }
 

@@ -83,6 +83,13 @@ type CPU struct {
 	// the cache/TLB models, so tracing cannot perturb measured cycles.
 	Trace *obs.CoreTrace
 
+	// FlowID, when nonzero, tags charged crossing operations (SendIPI,
+	// hypervisor EPTP installs) with a causal-flow step so the trace can
+	// stitch one call's journey across cores. Host-side annotation only:
+	// it is written around instrumented regions, read only when Trace is
+	// attached, and never observable to simulated code.
+	FlowID uint64
+
 	// Host-side scratch state (never observable in the simulation).
 	// eptTrace is the reused EPT walk-trace buffer; walkRec collects the
 	// cache charges of an in-progress walk for the walk memo while

@@ -195,6 +195,9 @@ func (m *Machine) SendIPI(from, to int) {
 	m.IPICount++
 	if tr := m.Cores[from].Trace; tr != nil {
 		tr.Complete(m.Cores[from].Clock-CostIPI, CostIPI, "IPI", "hw", obs.U("to", uint64(to)))
+		if fid := m.Cores[from].FlowID; fid != 0 {
+			tr.FlowStep(m.Cores[from].Clock-CostIPI, fid, "flow.ipi", "flow")
+		}
 	}
 }
 

@@ -187,6 +187,12 @@ type Kernel struct {
 	IPIWakes   uint64 // parked threads woken by a cross-core IPI
 	SpinCycles uint64 // total cycles spent polling before resolution
 
+	// wakeSeq numbers waker->sleeper flow arrows in the trace. Allocated
+	// only while the waker's core has a trace attached, so untraced runs
+	// are untouched; per-kernel, so parallel bench workers stay
+	// deterministic.
+	wakeSeq uint64
+
 	// BD, when non-nil, receives a cycle breakdown of kernel IPC work
 	// (used to regenerate Figure 7).
 	BD *Breakdown

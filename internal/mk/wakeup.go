@@ -2,6 +2,7 @@ package mk
 
 import (
 	"skybridge/internal/hw"
+	"skybridge/internal/obs"
 	"skybridge/internal/sim"
 )
 
@@ -65,11 +66,33 @@ const (
 	WokeClose
 )
 
+// WaitStats decomposes how one AdaptiveWait resolved: the cycles spent
+// spinning before the decision, the cycles parked (zero on a spin exit),
+// and the wakeup-delivery cost paid on resume (interrupt dispatch on an
+// IPI wake). Spin + Parked + Delivery is exactly the wait's duration on
+// the waiter's clock.
+type WaitStats struct {
+	Kind     WakeKind
+	Spin     uint64
+	Parked   uint64
+	Delivery uint64
+}
+
 // Parker is one adaptive-wait sleep slot: at most one thread parks on it
 // at a time (the SPSC rings have exactly one server poll thread and one
 // client per ring side).
 type Parker struct {
 	wq sim.WaitQueue
+
+	// Last describes how the most recent AdaptiveWait on this parker
+	// resolved. Single-waiter (SPSC) use makes a single slot sufficient;
+	// callers attributing wait cycles read it immediately after the wait.
+	Last WaitStats
+
+	// flowID carries the waker-minted wake-flow arrow to the sleeper,
+	// which terminates it on its own track after resuming. Set only while
+	// tracing is attached.
+	flowID uint64
 }
 
 // Waiting reports whether a thread is parked here.
@@ -93,6 +116,7 @@ func (e *Env) AdaptiveWait(p *Parker, pol WakePolicy, ready func() bool, arm, di
 		if ready() {
 			k.SpinWakes++
 			k.SpinCycles += cpu.Clock - start
+			p.Last = WaitStats{Kind: WokeSpin, Spin: cpu.Clock - start}
 			return WokeSpin
 		}
 		if cpu.Clock-start >= pol.SpinBudget {
@@ -111,11 +135,14 @@ func (e *Env) AdaptiveWait(p *Parker, pol WakePolicy, ready func() bool, arm, di
 		}
 		k.SpinWakes++
 		k.SpinCycles += cpu.Clock - start
+		p.Last = WaitStats{Kind: WokeSpin, Spin: cpu.Clock - start}
 		return WokeSpin
 	}
 	k.Parks++
 	k.SpinCycles += cpu.Clock - start
+	tPark := cpu.Clock
 	kind, _ := p.wq.Wait(e.T).(WakeKind)
+	tResume := cpu.Clock
 	if kind == WokeIPI {
 		// The sleeper pays interrupt delivery and dispatch on its core.
 		if err := cpu.Interrupt(); err != nil {
@@ -124,6 +151,16 @@ func (e *Env) AdaptiveWait(p *Parker, pol WakePolicy, ready func() bool, arm, di
 	}
 	if disarm != nil {
 		disarm()
+	}
+	p.Last = WaitStats{
+		Kind:     kind,
+		Spin:     tPark - start,
+		Parked:   tResume - tPark,
+		Delivery: cpu.Clock - tResume,
+	}
+	if fid := p.flowID; fid != 0 {
+		p.flowID = 0
+		cpu.Trace.FlowEnd(cpu.Clock, fid, "flow.wake", "flow")
 	}
 	return kind
 }
@@ -148,6 +185,15 @@ func (k *Kernel) wakeParker(cpu *hw.CPU, p *Parker, closing bool) bool {
 	th := p.wq.TakeWhere(func(*sim.Thread) bool { return true })
 	if th == nil {
 		return false
+	}
+	// Mint a waker->sleeper flow arrow so the trace shows who kicked whom
+	// across cores. Only when the waker's core is traced: untraced runs
+	// skip the sequence allocation entirely.
+	if cpu.Trace != nil {
+		k.wakeSeq++
+		fid := obs.FlowWake | k.wakeSeq
+		p.flowID = fid
+		cpu.Trace.FlowStart(cpu.Clock, fid, "flow.wake", "flow")
 	}
 	kind := WokeLocal
 	switch {

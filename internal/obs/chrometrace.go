@@ -41,6 +41,23 @@ type chromeInstant struct {
 	Args map[string]uint64 `json:"args,omitempty"`
 }
 
+// chromeFlow is a flow event ('s'/'t'/'f'). Flow ids must be unique per
+// trace file, but obs flow IDs are only unique within one traced process
+// (each experiment restarts its deterministic call counters), so the
+// exported id is scoped by pid. BP "e" binds the arrow to the enclosing
+// slice rather than the next one, matching where instrumentation emits
+// flow events (inside the span doing the work).
+type chromeFlow struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	Ts   uint64 `json:"ts"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	ID   string `json:"id"`
+	BP   string `json:"bp"`
+}
+
 type chromeMeta struct {
 	Name string            `json:"name"`
 	Ph   string            `json:"ph"`
@@ -91,6 +108,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 						Name: ev.Name, Cat: ev.Cat, Ph: "i", Ts: ev.Ts,
 						Pid: ct.pid, Tid: ct.tid, S: "t", Args: argMap(ev.Args),
 					})
+				case PhaseFlowStart, PhaseFlowStep, PhaseFlowEnd:
+					events = append(events, chromeFlow{
+						Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Ph), Ts: ev.Ts,
+						Pid: ct.pid, Tid: ct.tid, ID: flowID(ct.pid, ev.ID), BP: "e",
+					})
 				default:
 					events = append(events, chromeSpan{
 						Name: ev.Name, Cat: ev.Cat, Ph: "X", Ts: ev.Ts, Dur: ev.Dur,
@@ -117,3 +139,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 }
 
 func coreName(tid int) string { return "core" + strconv.Itoa(tid) }
+
+// flowID renders a pid-scoped flow identifier. The trace format accepts
+// string ids, and scoping by pid keeps flows from distinct experiments
+// (which reuse the same deterministic in-process ids) separate.
+func flowID(pid int, id uint64) string {
+	return strconv.Itoa(pid) + "." + strconv.FormatUint(id, 16)
+}

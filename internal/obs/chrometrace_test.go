@@ -21,6 +21,12 @@ func goldenTracer() *Tracer {
 	c0.Complete(124, 134, "phase.vmfunc", "core", U("slot", 3))
 	c0.Instant(258, "eptp.load_slot", "hv", U("server", 1), U("slot", 3))
 	c0.End(span, 496, U("server", 1))
+	// One causal flow chain crossing cores: start on core 0, a step on
+	// core 1 (the doorbell IPI), back to core 0 to finish.
+	fid := FlowAsync | 1<<32 | 7
+	c0.FlowStart(100, fid, "flow.call", "flow")
+	m.Core(1).FlowStep(220, fid, "flow.ipi", "flow")
+	c0.FlowEnd(496, fid, "flow.call", "flow")
 	m.Core(1).Complete(40, 186, "WriteCR3", "hw", U("pcid", 7))
 	tr.Process("fig7.echo", 1).Core(0).Instant(12, "IPI", "hw", U("to", 1))
 	return tr
@@ -62,7 +68,7 @@ func TestWriteChromeTraceShape(t *testing.T) {
 		t.Errorf("clockDomain = %q", doc.OtherData["clockDomain"])
 	}
 	// 3 metadata (2 process names would be 2 + 3 thread names) + 6 events.
-	var meta, spans, instants int
+	var meta, spans, instants, flows int
 	for _, ev := range doc.TraceEvents {
 		ph, _ := ev["ph"].(string)
 		switch ph {
@@ -82,12 +88,31 @@ func TestWriteChromeTraceShape(t *testing.T) {
 			if s, _ := ev["s"].(string); s != "t" {
 				t.Errorf("instant scope = %q, want t", s)
 			}
+		case "s", "t", "f":
+			flows++
+			if id, _ := ev["id"].(string); id == "" {
+				t.Errorf("flow event missing id: %v", ev)
+			}
+			if bp, _ := ev["bp"].(string); bp != "e" {
+				t.Errorf("flow binding point = %q, want e", bp)
+			}
 		default:
 			t.Errorf("unexpected phase %q", ph)
 		}
 	}
-	if meta != 5 || spans != 4 || instants != 2 {
-		t.Errorf("meta/spans/instants = %d/%d/%d, want 5/4/2", meta, spans, instants)
+	if meta != 5 || spans != 4 || instants != 2 || flows != 3 {
+		t.Errorf("meta/spans/instants/flows = %d/%d/%d/%d, want 5/4/2/3", meta, spans, instants, flows)
+	}
+	// The chain's three events share one pid-scoped id across cores.
+	ids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ph, _ := ev["ph"].(string); ph == "s" || ph == "t" || ph == "f" {
+			id, _ := ev["id"].(string)
+			ids[id]++
+		}
+	}
+	if len(ids) != 1 {
+		t.Errorf("flow ids = %v, want one shared id", ids)
 	}
 	// Determinism: a second serialization of an identical tracer is
 	// byte-identical.

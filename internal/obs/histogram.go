@@ -150,3 +150,30 @@ func (h *Histogram) Summary() Summary {
 		Max:   h.max,
 	}
 }
+
+// SLOSummary is the digest used by SLO-style breakdown reports: like
+// Summary but with the p99.9 tail percentile. It is a distinct type so
+// adding the tail quantile does not change the serialized shape of
+// existing Summary-bearing records.
+type SLOSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
+	Max   uint64  `json:"max"`
+}
+
+// SummarySLO digests the histogram with tail percentiles.
+func (h *Histogram) SummarySLO() SLOSummary {
+	return SLOSummary{
+		Count: h.count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.max,
+	}
+}

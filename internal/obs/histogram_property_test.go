@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property tests for the log-linear histogram: Quantile against an exact
+// sorted reference, and Merge as an exact commutative/associative fold.
+// All randomness is seeded, so failures reproduce.
+
+// exactQuantile is the reference implementation: the ceil(q*n)-th order
+// statistic of the observed values.
+func exactQuantile(sorted []uint64, q float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// sampleSets generates value sets across the distributions the simulator
+// produces: small exact-bucket values, cycle-scale latencies, and heavy
+// tails spanning many octaves.
+func sampleSets(rng *rand.Rand) [][]uint64 {
+	sets := [][]uint64{
+		{},        // empty
+		{0},       // single zero
+		{7},       // single small
+		{1 << 40}, // single huge
+	}
+	// All-below-histSub: unit buckets, quantiles exact.
+	small := make([]uint64, 100)
+	for i := range small {
+		small[i] = uint64(rng.Intn(histSub))
+	}
+	sets = append(sets, small)
+	// Uniform cycle-scale.
+	mid := make([]uint64, 1+rng.Intn(500))
+	for i := range mid {
+		mid[i] = uint64(rng.Intn(1 << 20))
+	}
+	sets = append(sets, mid)
+	// Heavy tail: random octave, random mantissa.
+	tail := make([]uint64, 1+rng.Intn(500))
+	for i := range tail {
+		tail[i] = rng.Uint64() >> uint(rng.Intn(64))
+	}
+	sets = append(sets, tail)
+	return sets
+}
+
+func TestHistogramQuantileAgainstSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for trial := 0; trial < 50; trial++ {
+		for _, vals := range sampleSets(rng) {
+			h := NewHistogram()
+			for _, v := range vals {
+				h.Observe(v)
+			}
+			sorted := append([]uint64(nil), vals...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, q := range quantiles {
+				got, want := h.Quantile(q), exactQuantile(sorted, q)
+				if len(vals) == 0 {
+					if got != 0 {
+						t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, got)
+					}
+					continue
+				}
+				// The histogram returns the lower bound of the bucket
+				// holding the exact order statistic: same bucket, never
+				// above the exact value.
+				if got > want {
+					t.Fatalf("Quantile(%v) = %d above exact %d (n=%d)", q, got, want, len(vals))
+				}
+				if bucketIndex(got) != bucketIndex(want) {
+					t.Fatalf("Quantile(%v) = %d in bucket %d, exact %d in bucket %d",
+						q, got, bucketIndex(got), want, bucketIndex(want))
+				}
+				// Values below histSub land in unit buckets: exact.
+				if want < histSub && got != want {
+					t.Fatalf("Quantile(%v) = %d, want exact small value %d", q, got, want)
+				}
+				// The q=1 quantile is the exact maximum.
+				if q >= 1 && got != sorted[len(sorted)-1] {
+					t.Fatalf("Quantile(1) = %d, want exact max %d", got, sorted[len(sorted)-1])
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() >> uint(rng.Intn(64))
+		}
+		// Three disjoint shards of the same observation stream.
+		var a, b, c, whole Histogram
+		for i, v := range vals {
+			whole.Observe(v)
+			switch i % 3 {
+			case 0:
+				a.Observe(v)
+			case 1:
+				b.Observe(v)
+			case 2:
+				c.Observe(v)
+			}
+		}
+		merge := func(hs ...*Histogram) Histogram {
+			var m Histogram
+			for _, h := range hs {
+				m.Merge(h)
+			}
+			return m
+		}
+		abc := merge(&a, &b, &c)
+		// Commutativity: any shard order gives bit-identical state (the
+		// struct holds only arrays and scalars, so == compares it all).
+		if cba := merge(&c, &b, &a); abc != cba {
+			t.Fatal("Merge not commutative: (a,b,c) != (c,b,a)")
+		}
+		if bac := merge(&b, &a, &c); abc != bac {
+			t.Fatal("Merge not commutative: (a,b,c) != (b,a,c)")
+		}
+		// Associativity: (a+b)+c == a+(b+c).
+		ab := merge(&a, &b)
+		left := merge(&ab, &c)
+		bc := merge(&b, &c)
+		right := merge(&a, &bc)
+		if left != right {
+			t.Fatal("Merge not associative")
+		}
+		// Merging shards is bit-identical to one histogram observing the
+		// whole stream.
+		if abc != whole {
+			t.Fatal("merged shards differ from single-histogram state")
+		}
+	}
+}

@@ -6,17 +6,38 @@ const (
 	PhaseSpan byte = 'X'
 	// PhaseInstant is a point event at Ts.
 	PhaseInstant byte = 'i'
+	// PhaseFlowStart opens a flow (causal arrow) identified by Event.ID.
+	PhaseFlowStart byte = 's'
+	// PhaseFlowStep continues a flow on another track.
+	PhaseFlowStep byte = 't'
+	// PhaseFlowEnd terminates a flow.
+	PhaseFlowEnd byte = 'f'
 )
 
-// Event is one recorded trace event. Ts and Dur are simulated cycles.
+// Event is one recorded trace event. Ts and Dur are simulated cycles. ID
+// is only meaningful for flow events, where it names the causal chain the
+// event belongs to; flow IDs are derived from deterministic per-kind call
+// counters, never from allocation order of runtime state.
 type Event struct {
 	Name string
 	Cat  string
 	Ph   byte
 	Ts   uint64
 	Dur  uint64
+	ID   uint64
 	Args []Arg
 }
+
+// Flow-ID namespaces: the top nibble of a flow ID says which mechanism
+// minted it, and the low bits come from that mechanism's deterministic
+// counter (call ordinal, ring seq, wake seq). IDs are therefore stable
+// across runs and across -j parallelism, never derived from host state.
+const (
+	FlowSync  uint64 = 1 << 60 // | DirectCall ordinal
+	FlowBatch uint64 = 2 << 60 // | batch ordinal
+	FlowAsync uint64 = 3 << 60 // | ring ID << 32 | submission seq
+	FlowWake  uint64 = 4 << 60 // | kernel wake seq
+)
 
 // SpanID identifies an open span inside one CoreTrace. The zero value of a
 // dropped or disabled span is NoSpan; End(NoSpan, ...) is a no-op, so
@@ -86,6 +107,32 @@ func (ct *CoreTrace) End(id SpanID, ts uint64, args ...Arg) {
 		ev.Dur = ts - ev.Ts
 	}
 	ev.Args = append(ev.Args, args...)
+}
+
+// FlowStart opens flow id at cycle ts on this track. Flow events bind to
+// the enclosing slice in Perfetto, so emit them inside (or at the same
+// timestamp as) the span that does the work.
+func (ct *CoreTrace) FlowStart(ts uint64, id uint64, name, cat string) {
+	if ct == nil {
+		return
+	}
+	ct.append(Event{Name: name, Cat: cat, Ph: PhaseFlowStart, Ts: ts, ID: id})
+}
+
+// FlowStep continues flow id on this track at cycle ts.
+func (ct *CoreTrace) FlowStep(ts uint64, id uint64, name, cat string) {
+	if ct == nil {
+		return
+	}
+	ct.append(Event{Name: name, Cat: cat, Ph: PhaseFlowStep, Ts: ts, ID: id})
+}
+
+// FlowEnd terminates flow id on this track at cycle ts.
+func (ct *CoreTrace) FlowEnd(ts uint64, id uint64, name, cat string) {
+	if ct == nil {
+		return
+	}
+	ct.append(Event{Name: name, Cat: cat, Ph: PhaseFlowEnd, Ts: ts, ID: id})
 }
 
 // Events returns the recorded events in program order.
