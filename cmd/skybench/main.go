@@ -15,7 +15,15 @@
 // -benchout <kind>=<path> runs a standalone benchmark and writes its JSON
 // document: host (suite wall-clock timings), scaling (multicore sweep),
 // async (ring queue-depth sweep). Repeatable; -hostbench and
-// -scalingbench remain as deprecated aliases.
+// -scalingbench remain as deprecated aliases (each warns once per
+// process).
+//
+// Host-side accelerators: -hostcache on|off gates the walk-memo and
+// decode caches, -superblock on|off gates superblock direct-threaded
+// execution and block-granular cache charging, and -j N runs experiment
+// units and their independent cells on N workers. All three change only
+// host wall-clock: simulated results, stdout, metrics, trace, and report
+// are byte-identical for every combination.
 //
 // -trace writes a Chrome trace-event JSON (open in Perfetto / chrome://
 // tracing; 1 timestamp unit = 1 simulated cycle, one track per simulated
@@ -103,8 +111,9 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write machine-readable experiment records (JSON) to this file")
 		reportOut  = flag.String("report", "", "write the per-call phase-breakdown report (JSON) to this file and print its table")
 
-		jobs      = flag.Int("j", 1, "run experiments on N parallel workers (output stays in declaration order, byte-identical for any N)")
-		hostCache = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
+		jobs       = flag.Int("j", 1, "run experiments (and their independent cells) on N parallel workers (output stays in declaration order, byte-identical for any N)")
+		hostCache  = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
+		superblock = flag.String("superblock", "on", "superblock direct-threaded execution and block-granular cache charging: on|off (simulated results are identical either way)")
 
 		hostBench    = flag.String("hostbench", "", "deprecated: alias for -benchout host=<path>")
 		scalingBench = flag.String("scalingbench", "", "deprecated: alias for -benchout scaling=<path>")
@@ -118,13 +127,16 @@ func main() {
 	flag.Parse()
 
 	// Deprecated aliases fold into the -benchout map (explicit -benchout
-	// wins on conflict).
+	// wins on conflict), each warning exactly once per process here at
+	// parse time — never per experiment unit.
 	if *hostBench != "" {
+		fmt.Fprintln(os.Stderr, "skybench: warning: -hostbench is deprecated, use -benchout host=<path>")
 		if _, ok := benchOuts["host"]; !ok {
 			benchOuts["host"] = *hostBench
 		}
 	}
 	if *scalingBench != "" {
+		fmt.Fprintln(os.Stderr, "skybench: warning: -scalingbench is deprecated, use -benchout scaling=<path>")
 		if _, ok := benchOuts["scaling"]; !ok {
 			benchOuts["scaling"] = *scalingBench
 		}
@@ -148,6 +160,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skybench: -hostcache must be on or off, got %q\n", *hostCache)
 		os.Exit(2)
 	}
+	switch *superblock {
+	case "on":
+		isa.SetSuperblock(true)
+		hw.SetBlockCharge(true)
+	case "off":
+		isa.SetSuperblock(false)
+		hw.SetBlockCharge(false)
+	default:
+		fmt.Fprintf(os.Stderr, "skybench: -superblock must be on or off, got %q\n", *superblock)
+		os.Exit(2)
+	}
+	bench.SetJobs(*jobs)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -281,10 +305,12 @@ func runBenchOuts(outs map[string]string, sel map[string]bool, opts bench.Option
 	return nil
 }
 
-// runHostBench times the selected suite three ways — serial with host
-// caches off, serial with caches on, and parallel with caches on — and
+// runHostBench times the selected suite four ways — serial with every host
+// accelerator off, serial with the walk-memo/decode caches on (the PR 2
+// configuration), serial with superblock execution on top, and parallel
+// with everything on — plus the superblock dispatch microbenchmark, and
 // writes the result as BENCH_host.json. Simulated results are identical in
-// all three (that is the whole point of the host fast paths); only host
+// every cell (that is the whole point of the host fast paths); only host
 // wall-clock differs.
 func runHostBench(path string, sel map[string]bool, opts bench.Options, jobs int) error {
 	if jobs <= 1 {
@@ -301,23 +327,45 @@ func runHostBench(path string, sel map[string]bool, opts bench.Options, jobs int
 	}
 	sort.Strings(res.Experiments)
 
-	run := func(cachesOn bool, j int) (float64, error) {
+	// Snapshot the flag-derived settings so later -benchout kinds run
+	// under the configuration the user asked for.
+	prevFast := hw.SetHostFastPaths(true)
+	prevDec := isa.SetDecodeCache(true)
+	prevSB := isa.SetSuperblock(true)
+	prevBC := hw.SetBlockCharge(true)
+	prevJobs := bench.SetJobs(1)
+	defer func() {
+		hw.SetHostFastPaths(prevFast)
+		isa.SetDecodeCache(prevDec)
+		isa.SetSuperblock(prevSB)
+		hw.SetBlockCharge(prevBC)
+		bench.SetJobs(prevJobs)
+	}()
+
+	run := func(cachesOn, superblockOn bool, j int) (float64, error) {
 		hw.SetHostFastPaths(cachesOn)
 		isa.SetDecodeCache(cachesOn)
+		isa.SetSuperblock(superblockOn)
+		hw.SetBlockCharge(superblockOn)
+		bench.SetJobs(j)
 		start := time.Now()
 		err := bench.RunAll(sel, opts, j, bench.NewSession(nil), io.Discard)
 		return time.Since(start).Seconds(), err
 	}
 	var err error
-	if res.SerialCachesOffSec, err = run(false, 1); err != nil {
+	if res.SerialCachesOffSec, err = run(false, false, 1); err != nil {
 		return err
 	}
-	if res.SerialCachesOnSec, err = run(true, 1); err != nil {
+	if res.SerialCachesOnSec, err = run(true, false, 1); err != nil {
 		return err
 	}
-	if res.ParallelSec, err = run(true, jobs); err != nil {
+	if res.SerialSuperblockOnSec, err = run(true, true, 1); err != nil {
 		return err
 	}
+	if res.ParallelSec, err = run(true, true, jobs); err != nil {
+		return err
+	}
+	res.Micro = bench.RunSuperblockMicro(0)
 	return writeFile(path, func(w io.Writer) error { return bench.WriteHostBench(w, res) })
 }
 

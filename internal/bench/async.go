@@ -115,23 +115,33 @@ func (s *Session) Async(cfg AsyncConfig) (*AsyncResult, error) {
 		Records: cfg.Records, TotalOps: cfg.TotalOps,
 		CoreCounts: cfg.CoreCounts, Depths: cfg.Depths,
 	}
+	// Every (workload, cores, qd) cell — the sync baseline is qd 0 —
+	// builds its own world, so the sweep partitions onto the -j worker
+	// pool (runCells) with declaration-ordered merge.
+	type cellSpec struct {
+		w         ycsb.Workload
+		cores, qd int
+	}
+	var specs []cellSpec
 	for _, w := range cfg.Workloads {
 		res.Workloads = append(res.Workloads, w.Name)
 		for _, cores := range cfg.CoreCounts {
-			cell, err := s.runAsyncCell(cfg, w, cores, 0)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, cell)
+			specs = append(specs, cellSpec{w, cores, 0})
 			for _, qd := range cfg.Depths {
-				cell, err := s.runAsyncCell(cfg, w, cores, qd)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells = append(res.Cells, cell)
+				specs = append(specs, cellSpec{w, cores, qd})
 			}
 		}
 	}
+	cells := make([]*AsyncCell, len(specs))
+	err := runCells(s, len(specs), func(sub *Session, i int) error {
+		c, err := sub.runAsyncCell(cfg, specs[i].w, specs[i].cores, specs[i].qd)
+		cells[i] = c
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cells = cells
 	return res, nil
 }
 

@@ -133,6 +133,85 @@ func ExperimentNames() []string {
 	return names
 }
 
+// cellJobs is the worker count for sub-experiment parallelism: the sweep
+// experiments (scaling, async) and the table6 corpus scan partition their
+// independent cells onto this many workers, so one big experiment no
+// longer serializes a whole core. The driver sets it once from -j before
+// anything runs (SetJobs); results are byte-identical for any value.
+var cellJobs = 1
+
+// SetJobs sets the worker count used inside experiments that partition
+// into independent cells, returning the previous setting. Values below 1
+// clamp to 1 (serial).
+func SetJobs(n int) int {
+	prev := cellJobs
+	if n < 1 {
+		n = 1
+	}
+	cellJobs = n
+	return prev
+}
+
+// runCells runs n independent experiment cells on the package worker pool
+// (SetJobs), each in its own sub-Session — own worlds, own registry, own
+// sub-tracer when s traces — and merges the sub-sessions into s strictly
+// in index order. Because Merge reproduces a serial run byte-for-byte,
+// the session state after runCells is identical for any worker count;
+// with one worker the cells run directly against s, no sub-sessions.
+//
+// run must build all simulated state inside the sub-session it is handed
+// and write any host-side result into an index-addressed slot (never
+// append to shared slices).
+func runCells(s *Session, n int, run func(sub *Session, i int) error) error {
+	jobs := cellJobs
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(s, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	subs := make([]*Session, n)
+	errs := make([]error, n)
+	idxCh := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				var subTrace *obs.Tracer
+				if s.Trace != nil {
+					subTrace = obs.NewTracer()
+					subTrace.EventCap = s.Trace.EventCap
+				}
+				sub := NewSession(subTrace)
+				errs[i] = run(sub, i)
+				subs[i] = sub
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		s.Merge(subs[i])
+	}
+	return nil
+}
+
 // Merge folds a completed sub-session into s: records append in call
 // order, histograms merge exactly (obs.Histogram.Merge), call sites
 // append in creation order, and the sub-tracer's processes are adopted

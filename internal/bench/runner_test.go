@@ -60,6 +60,30 @@ func TestRunAllParallelByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCellJobsByteIdentical: the sweep experiments (scaling, async) and
+// the table6 corpus scan partition into independent cells on the SetJobs
+// worker pool; every worker count must reproduce the serial run's stdout,
+// metrics, and trace byte for byte.
+func TestCellJobsByteIdentical(t *testing.T) {
+	sel := map[string]bool{"scaling": true, "async": true, "table6": true}
+	prev := SetJobs(1)
+	t.Cleanup(func() { SetJobs(prev) })
+	out1, m1, t1 := runSuite(t, sel, 1)
+	for _, jobs := range []int{3, 8} {
+		SetJobs(jobs)
+		outN, mN, tN := runSuite(t, sel, 1)
+		if outN != out1 {
+			t.Errorf("SetJobs(%d) stdout differs from serial", jobs)
+		}
+		if !bytes.Equal(mN, m1) {
+			t.Errorf("SetJobs(%d) metrics differ from serial", jobs)
+		}
+		if !bytes.Equal(tN, t1) {
+			t.Errorf("SetJobs(%d) trace differs from serial", jobs)
+		}
+	}
+}
+
 // TestRunAllHostCacheOffByteIdentical: disabling the host-side fast paths
 // must not change a single output byte — the caches are pure host-side
 // accelerators.

@@ -108,24 +108,36 @@ func (s *Session) Scaling(cfg ScalingConfig) (*ScalingResult, error) {
 		Records: cfg.Records, TotalOps: cfg.TotalOps, Batch: cfg.Batch,
 		CoreCounts: cfg.CoreCounts,
 	}
+	// Every (workload, cores, batch) cell builds its own world, so the
+	// sweep partitions into independent cells run on the -j worker pool
+	// (runCells) and merged in declaration order — the ablation cell
+	// (same stack and workload, widest machine, one request per crossing)
+	// rides along as the last cell.
+	type cellSpec struct {
+		w            ycsb.Workload
+		cores, batch int
+	}
+	var specs []cellSpec
 	for _, w := range cfg.Workloads {
 		res.Workloads = append(res.Workloads, w.Name)
 		for _, cores := range cfg.CoreCounts {
-			cell, err := s.runScalingCell(cfg, w, cores, cfg.Batch)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, cell)
+			specs = append(specs, cellSpec{w, cores, cfg.Batch})
 		}
 	}
-	// Ablation: same stack and workload, widest machine, one request per
-	// crossing.
 	wide := cfg.CoreCounts[len(cfg.CoreCounts)-1]
-	b1, err := s.runScalingCell(cfg, cfg.Workloads[0], wide, 1)
+	specs = append(specs, cellSpec{cfg.Workloads[0], wide, 1})
+
+	cells := make([]*ScalingCell, len(specs))
+	err := runCells(s, len(specs), func(sub *Session, i int) error {
+		c, err := sub.runScalingCell(cfg, specs[i].w, specs[i].cores, specs[i].batch)
+		cells[i] = c
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.AblationB1 = b1
+	res.Cells = cells[:len(cells)-1]
+	res.AblationB1 = cells[len(cells)-1]
 	return res, nil
 }
 

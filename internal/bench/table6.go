@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"skybridge/internal/isa"
 	"skybridge/internal/rewrite"
@@ -44,21 +45,30 @@ var table6Corpus = []Table6Row{
 	{Program: "Other Apps (2605)", Apps: 2605, AvgCodeKB: 216, PaperCount: 1},
 }
 
+// table6Seed derives the deterministic per-row generator seed. Rows draw
+// from independent streams (rather than one generator threaded through the
+// row loop) so the scan can run rows on parallel workers with results
+// independent of the worker count.
+func table6Seed(row int) int64 { return 0x7A7A + int64(row+1)*0x9E3779B9 }
+
 // Table6 synthesizes the corpus at 1/scale of the paper's code volume and
-// scans every program. The "Other Apps" class plants the paper's single
-// GIMP-2.8 finding: a VMFUNC encoding inside the immediate of a long call
+// scans every program, one row per worker (SetJobs) with a per-row seeded
+// generator. The "Other Apps" class plants the paper's single GIMP-2.8
+// finding: a VMFUNC encoding inside the immediate of a long call
 // instruction, which the rewriter classifies and neutralizes via the
 // jump-like-instruction strategy.
 func Table6(scale int) (*Table6Result, error) {
 	if scale <= 0 {
 		scale = 8
 	}
-	res := &Table6Result{Scale: scale}
-	rng := rand.New(rand.NewSource(0x7A7A))
+	res := &Table6Result{Scale: scale, Rows: make([]Table6Row, len(table6Corpus))}
+	errs := make([]error, len(table6Corpus))
 	const dataBase, dataLen = 0x10_0000, 1 << 20
 
-	for _, class := range table6Corpus {
+	scanRow := func(ri int) {
+		class := table6Corpus[ri]
 		row := class
+		rng := rand.New(rand.NewSource(table6Seed(ri)))
 		size := class.AvgCodeKB * 1024 / scale
 		if size < 256 {
 			size = 256
@@ -75,7 +85,8 @@ func Table6(scale int) (*Table6Result, error) {
 			}
 			n, err := rewrite.CountInadvertent(code)
 			if err != nil {
-				return nil, fmt.Errorf("bench: table6 scan %q app %d: %w", class.Program, app, err)
+				errs[ri] = fmt.Errorf("bench: table6 scan %q app %d: %w", class.Program, app, err)
+				return
 			}
 			row.Inadvertent += n
 			// Any found occurrence must be rewritable.
@@ -83,14 +94,50 @@ func Table6(scale int) (*Table6Result, error) {
 				rw := rewrite.New(0x40_0000)
 				out, err := rw.Rewrite(code)
 				if err != nil {
-					return nil, fmt.Errorf("bench: table6 rewrite %q: %w", class.Program, err)
+					errs[ri] = fmt.Errorf("bench: table6 rewrite %q: %w", class.Program, err)
+					return
 				}
 				if len(rewrite.FindPattern(out.Code))+len(rewrite.FindPattern(out.RewritePage)) != 0 {
-					return nil, fmt.Errorf("bench: table6: pattern survived rewriting in %q", class.Program)
+					errs[ri] = fmt.Errorf("bench: table6: pattern survived rewriting in %q", class.Program)
+					return
 				}
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[ri] = row
+	}
+
+	jobs := cellJobs
+	if jobs > len(table6Corpus) {
+		jobs = len(table6Corpus)
+	}
+	if jobs <= 1 {
+		for ri := range table6Corpus {
+			scanRow(ri)
+		}
+	} else {
+		idxCh := make(chan int)
+		go func() {
+			for ri := range table6Corpus {
+				idxCh <- ri
+			}
+			close(idxCh)
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ri := range idxCh {
+					scanRow(ri)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

@@ -93,10 +93,13 @@ type CPU struct {
 	// Host-side scratch state (never observable in the simulation).
 	// eptTrace is the reused EPT walk-trace buffer; walkRec collects the
 	// cache charges of an in-progress walk for the walk memo while
-	// recording is set (see hostmemo.go).
-	eptTrace  []HPA
-	walkRec   []memoCharge
-	recording bool
+	// recording is set (see hostmemo.go). blockCharge, snapshotted at
+	// machine construction, selects burst-wise cache charging
+	// (blockcharge.go).
+	eptTrace    []HPA
+	walkRec     []memoCharge
+	recording   bool
+	blockCharge bool
 }
 
 // Machine returns the machine this core belongs to.
@@ -323,9 +326,15 @@ func (c *CPU) accessData(va VA, buf []byte, n int, acc Access) error {
 		// Charge one cache access per line spanned.
 		first := hpa.LineBase()
 		last := (hpa + HPA(chunk) - 1).LineBase()
-		for line := first; line <= last; line += LineSize {
-			c.Clock += c.L1D.Access(line, acc == AccessWrite)
-			c.Counters.DataAccesses++
+		if c.blockCharge {
+			n := int((last-first)>>LineShift) + 1
+			c.Clock += c.L1D.AccessRange(first, n, acc == AccessWrite)
+			c.Counters.DataAccesses += uint64(n)
+		} else {
+			for line := first; line <= last; line += LineSize {
+				c.Clock += c.L1D.Access(line, acc == AccessWrite)
+				c.Counters.DataAccesses++
+			}
 		}
 		switch acc {
 		case AccessRead:
@@ -386,9 +395,15 @@ func (c *CPU) fetchCode(va VA, n int, buf []byte) error {
 		}
 		first := hpa.LineBase()
 		last := (hpa + HPA(chunk) - 1).LineBase()
-		for line := first; line <= last; line += LineSize {
-			c.Clock += c.L1I.Access(line, false)
-			c.Counters.CodeFetches++
+		if c.blockCharge {
+			n := int((last-first)>>LineShift) + 1
+			c.Clock += c.L1I.AccessRange(first, n, false)
+			c.Counters.CodeFetches += uint64(n)
+		} else {
+			for line := first; line <= last; line += LineSize {
+				c.Clock += c.L1I.Access(line, false)
+				c.Counters.CodeFetches++
+			}
 		}
 		if buf != nil {
 			c.mach.Mem.Read(hpa, buf[off:off+chunk])

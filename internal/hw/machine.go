@@ -105,15 +105,16 @@ func NewMachine(cfg MachineConfig) *Machine {
 	for i := 0; i < cfg.Cores; i++ {
 		l2 := NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L2", i), Size: cfg.L2Size, Ways: 4, Latency: cfg.L2Latency}, m.L3, 0)
 		cpu := &CPU{
-			ID:   i,
-			mach: m,
-			Mode: ModeKernel,
-			VPID: uint16(i + 1),
-			L1I:  NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L1I", i), Size: cfg.L1ISize, Ways: 8, Latency: cfg.L1Latency}, l2, 0),
-			L1D:  NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L1D", i), Size: cfg.L1DSize, Ways: 8, Latency: cfg.L1Latency}, l2, 0),
-			L2:   l2,
-			ITLB: NewTLB(cfg.ITLBEntries),
-			DTLB: NewTLB(cfg.DTLBEntries),
+			ID:          i,
+			mach:        m,
+			Mode:        ModeKernel,
+			VPID:        uint16(i + 1),
+			blockCharge: blockCharge,
+			L1I:         NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L1I", i), Size: cfg.L1ISize, Ways: 8, Latency: cfg.L1Latency}, l2, 0),
+			L1D:         NewCache(CacheConfig{Name: fmt.Sprintf("cpu%d.L1D", i), Size: cfg.L1DSize, Ways: 8, Latency: cfg.L1Latency}, l2, 0),
+			L2:          l2,
+			ITLB:        NewTLB(cfg.ITLBEntries),
+			DTLB:        NewTLB(cfg.DTLBEntries),
 		}
 		if m.memo != nil {
 			// An explicit TLB flush (shootdown) must also drop memoized

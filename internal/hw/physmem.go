@@ -27,13 +27,17 @@ type PhysMem struct {
 	allocated uint64
 	freed     uint64
 
-	// Last-frame cache for frame(): accesses cluster heavily on one frame
-	// (copy loops, page-table walks re-reading one table page), and a frame's
-	// backing array pointer never changes once materialized — frames are
-	// never removed from the map, and zeroFrame clears contents in place — so
-	// this cache can never go stale and needs no invalidation.
-	lastFN    uint64
-	lastFrame *[PageSize]byte
+	// Frame cache for frame(): accesses cluster heavily on a handful of
+	// frames (copy loops alternate between a source frame and the kernel
+	// transfer buffer; page-table walks re-read one table page), and a
+	// frame's backing array pointer never changes once materialized — frames
+	// are never removed from the map, and zeroFrame clears contents in place
+	// — so this direct-mapped cache can never go stale and needs no
+	// invalidation.
+	fcache [16]struct {
+		fn uint64
+		f  *[PageSize]byte
+	}
 
 	// Dirty watch (host-side walk memo support). watch is a frame-number
 	// bitmap of frames whose contents some memoized walk depends on; it is
@@ -177,15 +181,16 @@ func (m *PhysMem) frame(h HPA) *[PageSize]byte {
 		panic(fmt.Sprintf("hw: physical access out of range: %#x >= %#x", uint64(h), m.size))
 	}
 	fn := uint64(h) / PageSize
-	if m.lastFrame != nil && fn == m.lastFN {
-		return m.lastFrame
+	slot := &m.fcache[fn%uint64(len(m.fcache))]
+	if slot.f != nil && slot.fn == fn {
+		return slot.f
 	}
 	f, ok := m.frames[fn]
 	if !ok {
 		f = new([PageSize]byte)
 		m.frames[fn] = f
 	}
-	m.lastFN, m.lastFrame = fn, f
+	slot.fn, slot.f = fn, f
 	return f
 }
 

@@ -34,15 +34,20 @@ type tlbEntry struct {
 // (tag, virtual page number) and mapping to a host-physical frame.
 //
 // Host-side layout: resident entries live in one compact slice scanned
-// linearly, with the most recently hit entry swapped to slot 0. For the
-// 64–128 entry capacities modeled here this beats a hash map (no hashing,
-// no per-entry allocation, and hits under temporal locality match within
-// the first few compares). Slot order is pure host-side state: hit/miss
-// outcomes, stats, and LRU eviction decisions (driven by the unique lru
-// stamps) are identical to the previous map-based layout.
+// linearly. For the 64–128 entry capacities modeled here this beats a hash
+// map (no hashing on the miss path, no per-entry allocation). A small
+// direct-mapped index caches the slot each (tag, vpn) was last found in, so
+// a repeat lookup costs one hash and one compare instead of a scan; index
+// entries are validated against the live entry on every probe, so
+// evictions, flushes, and FlushTag compaction need no index maintenance.
+// Slot order and the index are pure host-side state: hit/miss outcomes,
+// stats, and LRU eviction decisions (driven by the unique lru stamps) are
+// identical to a plain linear scan — keys are unique in the TLB, so a
+// validated index hit finds exactly the entry the scan would.
 type TLB struct {
 	capacity int
 	entries  []tlbEntry
+	idx      []int32 // direct-mapped (tag, vpn) -> entry slot + 1; 0 = empty
 	clock    uint64
 	Stats    TLBStats
 
@@ -52,32 +57,46 @@ type TLB struct {
 	onFlush func()
 }
 
+// tlbIdxBits sizes the direct-mapped lookup index.
+const tlbIdxBits = 8
+
+// tlbHash spreads (tag, vpn) pairs over the index (Fibonacci hashing).
+func tlbHash(tag TLBTag, vpn uint64) int {
+	key := vpn ^ uint64(tag.VPID)<<48 ^ uint64(tag.PCID)<<32 ^ uint64(tag.EPTP)<<12
+	return int((key * 0x9E3779B97F4A7C15) >> (64 - tlbIdxBits))
+}
+
 // NewTLB creates a TLB with the given entry capacity.
 func NewTLB(capacity int) *TLB {
-	return &TLB{capacity: capacity, entries: make([]tlbEntry, 0, capacity)}
+	return &TLB{
+		capacity: capacity,
+		entries:  make([]tlbEntry, 0, capacity),
+		idx:      make([]int32, 1<<tlbIdxBits),
+	}
 }
 
 // Lookup returns the cached translation for (tag, vpn) if present.
 func (t *TLB) Lookup(tag TLBTag, vpn uint64) (HPA, PTFlags, bool) {
 	t.clock++
 	t.Stats.Lookups++
-	// Slot 0 holds the most recently hit entry (swapped there below), so
-	// under temporal locality this first compare serves most lookups.
-	if len(t.entries) > 0 {
-		if e := &t.entries[0]; e.vpn == vpn && e.tag == tag {
+	h := tlbHash(tag, vpn)
+	// Index probe: validated against the live entry, so a stale slot (the
+	// entry was evicted, flushed, or compacted away) simply falls through to
+	// the scan.
+	if ix := t.idx[h]; ix > 0 && int(ix) <= len(t.entries) {
+		if e := &t.entries[ix-1]; e.vpn == vpn && e.tag == tag {
 			t.Stats.Hits++
 			e.lru = t.clock
 			return e.pfn, e.flags, true
 		}
 	}
-	for i := 1; i < len(t.entries); i++ {
+	for i := range t.entries {
 		e := &t.entries[i]
 		if e.vpn == vpn && e.tag == tag {
 			t.Stats.Hits++
 			e.lru = t.clock
-			pfn, flags := e.pfn, e.flags
-			t.entries[i], t.entries[0] = t.entries[0], t.entries[i]
-			return pfn, flags, true
+			t.idx[h] = int32(i + 1)
+			return e.pfn, e.flags, true
 		}
 	}
 	t.Stats.Misses++
@@ -103,9 +122,11 @@ func (t *TLB) Insert(tag TLBTag, vpn uint64, pfn HPA, flags PTFlags) {
 			}
 		}
 		t.entries[victim] = tlbEntry{tag: tag, vpn: vpn, pfn: pfn, flags: flags, lru: t.clock}
+		t.idx[tlbHash(tag, vpn)] = int32(victim + 1)
 		return
 	}
 	t.entries = append(t.entries, tlbEntry{tag: tag, vpn: vpn, pfn: pfn, flags: flags, lru: t.clock})
+	t.idx[tlbHash(tag, vpn)] = int32(len(t.entries))
 }
 
 // FlushAll invalidates every entry (a CR3 write with PCID disabled, or an

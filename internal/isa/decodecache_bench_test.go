@@ -2,11 +2,13 @@ package isa
 
 import "testing"
 
-// benchInterp builds an interpreter over the 1..100 sum loop.
+// benchInterp builds an interpreter over the 1..100 sum loop, pinning
+// superblocks off so these benchmarks keep measuring per-step dispatch.
 func benchInterp(b *testing.B, cached bool) *Interp {
 	b.Helper()
 	prev := SetDecodeCache(cached)
-	b.Cleanup(func() { SetDecodeCache(prev) })
+	prevSB := SetSuperblock(false)
+	b.Cleanup(func() { SetDecodeCache(prev); SetSuperblock(prevSB) })
 	ip := NewInterp()
 	ip.AddRegion(0x400000, loopProgram(100))
 	return ip

@@ -10,6 +10,15 @@ func withDecodeCache(t *testing.T, on bool) {
 	t.Cleanup(func() { SetDecodeCache(prev) })
 }
 
+// withSuperblock forces the superblock toggle for the duration of a test
+// and restores the previous setting afterwards. The decode-cache stat
+// assertions below need per-step execution, where the cache actually runs.
+func withSuperblock(t *testing.T, on bool) {
+	t.Helper()
+	prev := SetSuperblock(on)
+	t.Cleanup(func() { SetSuperblock(prev) })
+}
+
 // loopProgram assembles a sum-1..n loop, which re-executes the same RIPs
 // many times — the decode cache's bread and butter.
 func loopProgram(n int32) []byte {
@@ -35,6 +44,7 @@ func loopProgram(n int32) []byte {
 // and requires identical architectural outcomes, with the cached run
 // actually serving hits.
 func TestDecodeCacheTransparent(t *testing.T) {
+	withSuperblock(t, false)
 	run := func(on bool) *Interp {
 		withDecodeCache(t, on)
 		ip := NewInterp()
@@ -65,6 +75,7 @@ func TestDecodeCacheTransparent(t *testing.T) {
 // in place (same instruction length) and requires the second run to execute
 // the new bytes — a stale cache hit would reproduce the old result.
 func TestDecodeCacheSelfModifyingCode(t *testing.T) {
+	withSuperblock(t, false)
 	withDecodeCache(t, true)
 	prog := func(v int32) []byte {
 		var a Asm
@@ -138,6 +149,7 @@ func TestDecodeCacheLengthChangingPatch(t *testing.T) {
 // TestDecodeCacheInvalidateOnAddRegion: mapping a new region drops the
 // cache (a conservative, explicit invalidation point).
 func TestDecodeCacheInvalidateOnAddRegion(t *testing.T) {
+	withSuperblock(t, false)
 	withDecodeCache(t, true)
 	ip := NewInterp()
 	ip.AddRegion(0x400000, loopProgram(3))

@@ -19,6 +19,19 @@ func SetDecodeCache(on bool) bool {
 	return prev
 }
 
+// superblockOn gates superblock (direct-threaded) execution in interpreters
+// constructed afterwards (skybench -superblock on|off). Architectural
+// results are identical either way; only host speed differs.
+var superblockOn = true
+
+// SetSuperblock enables or disables superblock execution for interpreters
+// constructed afterwards, returning the previous setting.
+func SetSuperblock(on bool) bool {
+	prev := superblockOn
+	superblockOn = on
+	return prev
+}
+
 // Region is a span of interpreter-visible memory (code or data).
 type Region struct {
 	Base uint64
@@ -59,10 +72,23 @@ type Interp struct {
 	DecodeHits          uint64 // host-side diagnostics only
 	DecodeMisses        uint64
 	DecodeInvalidations uint64
+
+	// Superblock (direct-threaded) execution state: straight-line decoded
+	// runs fused into blocks dispatched as one host call (superblock.go).
+	// sbCache is keyed by block entry RIP; every dispatch revalidates the
+	// block's bytes against the live region, and a store from inside the
+	// block over its own remaining bytes bails back to Step().
+	sbCache map[uint64]*superblock
+	sbOn    bool
+	// storeSeq/lastStore track the most recent data store so block dispatch
+	// can detect self-modifying writes over not-yet-executed block bytes.
+	storeSeq  uint64
+	lastStore uint64
+	SBStats   SBStats // host-side diagnostics only
 }
 
 // NewInterp returns an empty interpreter.
-func NewInterp() *Interp { return &Interp{decOn: decodeCacheOn} }
+func NewInterp() *Interp { return &Interp{decOn: decodeCacheOn, sbOn: superblockOn} }
 
 // AddRegion maps data at base. Regions must not overlap.
 func (ip *Interp) AddRegion(base uint64, data []byte) {
@@ -75,13 +101,18 @@ func (ip *Interp) AddRegion(base uint64, data []byte) {
 	ip.InvalidateCode()
 }
 
-// InvalidateCode drops every cached decoded instruction. Callers that
-// mutate code bytes in place do not need to call this — hit validation
-// catches byte changes — but rewriters may call it for explicitness.
+// InvalidateCode drops every cached decoded instruction and superblock.
+// Callers that mutate code bytes in place do not need to call this — hit
+// validation catches byte changes — but rewriters may call it for
+// explicitness.
 func (ip *Interp) InvalidateCode() {
 	if len(ip.decCache) > 0 {
 		ip.DecodeInvalidations++
 		clear(ip.decCache)
+	}
+	if len(ip.sbCache) > 0 {
+		ip.SBStats.Invalidations++
+		clear(ip.sbCache)
 	}
 }
 
@@ -134,6 +165,8 @@ func (ip *Interp) write64(addr uint64, v uint64) error {
 		return err
 	}
 	binary.LittleEndian.PutUint64(b, v)
+	ip.storeSeq++
+	ip.lastStore = addr
 	return nil
 }
 
@@ -187,11 +220,12 @@ func (ip *Interp) setZS(res uint64) {
 	ip.SF = res>>63 != 0
 }
 
-// Step fetches, decodes, and executes one instruction.
-func (ip *Interp) Step() error {
+// fetchWindow returns the up-to-15-byte fetch window at the current RIP,
+// clamped to the containing region.
+func (ip *Interp) fetchWindow() ([]byte, error) {
 	code, err := ip.region(ip.RIP, 1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Extend the fetch window up to 15 bytes within the region.
 	if len(code) > 15 {
@@ -207,13 +241,56 @@ func (ip *Interp) Step() error {
 			}
 		}
 	}
+	return code, nil
+}
+
+// Step fetches, decodes, and executes one instruction.
+func (ip *Interp) Step() error {
+	code, err := ip.fetchWindow()
+	if err != nil {
+		return err
+	}
 	in, err := ip.decode(code)
 	if err != nil {
 		return fmt.Errorf("isa: at rip %#x: %w", ip.RIP, err)
 	}
 	end := ip.RIP + uint64(in.Len)
 	ip.Steps++
+	return ip.execInst(&in, end)
+}
 
+// alu64 applies a 64-bit ALU operation to (a, b), setting CF/OF/ZF/SF, and
+// returns the result. It is the single source of truth for ALU flag
+// semantics, shared by execInst and the direct-threaded block handlers.
+func (ip *Interp) alu64(op Op, a, b uint64) uint64 {
+	var res uint64
+	switch op {
+	case ADD:
+		res = a + b
+		ip.CF = res < a
+		ip.OF = (a^res)&(b^res)>>63 != 0
+	case SUB, CMP:
+		res = a - b
+		ip.CF = a < b
+		ip.OF = (a^b)&(a^res)>>63 != 0
+	case AND, TEST:
+		res = a & b
+		ip.CF, ip.OF = false, false
+	case OR:
+		res = a | b
+		ip.CF, ip.OF = false, false
+	case XOR:
+		res = a ^ b
+		ip.CF, ip.OF = false, false
+	}
+	ip.setZS(res)
+	return res
+}
+
+// execInst executes one decoded instruction, updating RIP. end is the
+// address of the next sequential instruction. Step and superblock dispatch
+// share this so per-instruction semantics are identical in both modes.
+func (ip *Interp) execInst(in *Inst, end uint64) error {
 	switch in.Op {
 	case NOP:
 	case HLT:
@@ -237,21 +314,21 @@ func (ip *Interp) Step() error {
 		ip.Regs[RSP] += 8
 		ip.Regs[in.Dst] = v
 	case MOV, MOVI:
-		v, err := ip.srcValue(in, end)
+		v, err := ip.srcValue(*in, end)
 		if err != nil {
 			return err
 		}
-		if err := ip.setDst(in, end, v); err != nil {
+		if err := ip.setDst(*in, end, v); err != nil {
 			return err
 		}
 	case LEA:
 		ip.Regs[in.Dst] = ip.ea(in.M, end)
 	case ADD, SUB, AND, OR, XOR, CMP, TEST:
-		a, err := ip.dstValue(in, end)
+		a, err := ip.dstValue(*in, end)
 		if err != nil {
 			return err
 		}
-		b, err := ip.srcValue(in, end)
+		b, err := ip.srcValue(*in, end)
 		if err != nil {
 			return err
 		}
@@ -259,26 +336,7 @@ func (ip *Interp) Step() error {
 			a &= 0xffffffff
 			b &= 0xffffffff
 		}
-		var res uint64
-		switch in.Op {
-		case ADD:
-			res = a + b
-			ip.CF = res < a
-			ip.OF = (a^res)&(b^res)>>63 != 0
-		case SUB, CMP:
-			res = a - b
-			ip.CF = a < b
-			ip.OF = (a^b)&(a^res)>>63 != 0
-		case AND, TEST:
-			res = a & b
-			ip.CF, ip.OF = false, false
-		case OR:
-			res = a | b
-			ip.CF, ip.OF = false, false
-		case XOR:
-			res = a ^ b
-			ip.CF, ip.OF = false, false
-		}
+		res := ip.alu64(in.Op, a, b)
 		if in.Bits32 {
 			// 32-bit results zero-extend; flags derive from the 32-bit value.
 			res &= 0xffffffff
@@ -293,16 +351,15 @@ func (ip *Interp) Step() error {
 			ip.ZF = res == 0
 			ip.SF = res>>31 != 0
 			if in.Op != CMP && in.Op != TEST {
-				if err := ip.setDst(in, end, res); err != nil {
+				if err := ip.setDst(*in, end, res); err != nil {
 					return err
 				}
 			}
 			ip.RIP = end
 			return nil
 		}
-		ip.setZS(res)
 		if in.Op != CMP && in.Op != TEST {
-			if err := ip.setDst(in, end, res); err != nil {
+			if err := ip.setDst(*in, end, res); err != nil {
 				return err
 			}
 		}
@@ -407,11 +464,23 @@ func (ip *Interp) cond(c Cond) (bool, error) {
 	}
 }
 
-// Run executes until HLT, an error, or maxSteps instructions.
+// Run executes until HLT, an error, or maxSteps instructions. With
+// superblocks enabled, straight-line runs dispatch as fused blocks; any
+// condition a block cannot handle falls back to Step() with identical
+// architectural outcomes (including the exact step count at which the
+// maxSteps limit trips).
 func (ip *Interp) Run(maxSteps int) error {
 	for !ip.Halted {
 		if ip.Steps >= maxSteps {
 			return fmt.Errorf("isa: exceeded %d steps at rip %#x", maxSteps, ip.RIP)
+		}
+		if ip.sbOn {
+			if sb := ip.lookupBlock(); sb != nil {
+				if err := ip.execBlock(sb, maxSteps); err != nil {
+					return err
+				}
+				continue
+			}
 		}
 		if err := ip.Step(); err != nil {
 			return err

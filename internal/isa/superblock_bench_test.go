@@ -1,0 +1,28 @@
+package isa
+
+import "testing"
+
+// sbBenchInterp builds an interpreter over the 1..100 sum loop with the
+// superblock toggle pinned for the benchmark's duration (decode cache on,
+// as in the default configuration).
+func sbBenchInterp(b *testing.B, superblock bool) *Interp {
+	b.Helper()
+	prevDec := SetDecodeCache(true)
+	prevSB := SetSuperblock(superblock)
+	b.Cleanup(func() { SetDecodeCache(prevDec); SetSuperblock(prevSB) })
+	ip := NewInterp()
+	ip.AddRegion(0x400000, loopProgram(100))
+	return ip
+}
+
+// BenchmarkSuperblockStep measures fused direct-threaded dispatch: the
+// loop body executes as cached superblocks, one byte-validation per block.
+func BenchmarkSuperblockStep(b *testing.B) {
+	runLoop(b, sbBenchInterp(b, true))
+}
+
+// BenchmarkSuperblockOffStep is the identical loop through per-step
+// dispatch (decode cache still on), isolating the superblock win.
+func BenchmarkSuperblockOffStep(b *testing.B) {
+	runLoop(b, sbBenchInterp(b, false))
+}

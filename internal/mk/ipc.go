@@ -171,13 +171,37 @@ func (ep *Endpoint) takeWaiter(coreID int, anyOK bool) *sim.Thread {
 	return nil
 }
 
+// getStage returns an n-byte staging buffer, reusing a pooled one when a
+// previous call of the same payload size has completed. Callers overwrite
+// the full length, so recycled contents never leak between messages.
+func (k *Kernel) getStage(n int) []byte {
+	if s := k.stagePool[n]; len(s) > 0 {
+		buf := s[len(s)-1]
+		k.stagePool[n] = s[:len(s)-1]
+		return buf
+	}
+	return make([]byte, n)
+}
+
+// putStage returns a consumed staging buffer to the pool. buf must not be
+// referenced by any in-flight call afterwards.
+func (k *Kernel) putStage(buf []byte) {
+	if buf == nil {
+		return
+	}
+	if k.stagePool == nil {
+		k.stagePool = make(map[int][][]byte)
+	}
+	k.stagePool[len(buf)] = append(k.stagePool[len(buf)], buf)
+}
+
 // copyIn moves a payload from the current address space through the kernel
 // transfer buffer, charging the copy, and returns the staged bytes. Chunks
 // beyond the buffer wrap (the real kernel loops the same way).
 func (ep *Endpoint) copyIn(cpu *hw.CPU, buf hw.VA, n int) []byte {
 	k := ep.k
 	cpu.Tick(k.prof.copySetup)
-	staged := make([]byte, n)
+	staged := k.getStage(n)
 	for off := 0; off < n; off += ep.kbufLen {
 		chunk := min(ep.kbufLen, n-off)
 		if err := cpu.ReadData(buf+hw.VA(off), staged[off:off+chunk], chunk); err != nil {
@@ -370,6 +394,10 @@ func (e *Env) callInternal(ep *Endpoint, req Msg, replyBuf hw.VA, timeout uint64
 			} else {
 				k.record(cpu, CatCopy, func() { ep.copyOut(cpu, replyBuf, ctx.repStage) })
 			}
+			// The reply has been deposited in the client's address space; the
+			// staging buffer is dead and can be recycled.
+			k.putStage(ctx.repStage)
+			ctx.repStage = nil
 		}
 		k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })
 	} else {
@@ -419,7 +447,11 @@ func (k *Kernel) Serve(env *Env, ep *Endpoint, recvBuf hw.VA, handler func(env *
 			ctx = v.(*callCtx)
 		}
 		if ctx.timedOut {
-			continue // client is gone; drop the request
+			// Client is gone; drop the request. Its staged payload (if any)
+			// will never be copied out, so recycle it here.
+			k.putStage(ctx.reqStage)
+			ctx.reqStage = nil
+			continue
 		}
 		span := cpu.Trace.Begin(cpu.Clock, "ipc.serve", "mk")
 
@@ -456,6 +488,10 @@ func (k *Kernel) Serve(env *Env, ep *Endpoint, recvBuf hw.VA, handler func(env *
 				} else {
 					k.record(cpu, CatCopy, func() { ep.copyOut(cpu, recvBuf, ctx.reqStage) })
 				}
+				// The request now lives in the server's receive buffer; the
+				// staging buffer is dead and can be recycled.
+				k.putStage(ctx.reqStage)
+				ctx.reqStage = nil
 			}
 			k.record(cpu, CatCtxSw, func() { k.kptiExit(cpu) })
 			k.record(cpu, CatSyscall, func() { cpu.Swapgs(); cpu.Sysret() })

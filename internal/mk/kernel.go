@@ -164,6 +164,15 @@ type Kernel struct {
 	// endpoints lists created endpoints (window allocation).
 	endpoints []*Endpoint
 
+	// stagePool recycles staged-payload buffers (callCtx.reqStage/repStage)
+	// by exact size. Host-side only: a staged buffer is exclusively owned by
+	// its in-flight call from copy-in until the consuming copy-out, which
+	// returns it here. Payload sizes repeat heavily (the same buffers are
+	// shipped every round trip), so the pool turns the per-message
+	// allocation — the hottest allocation site in the whole suite — into a
+	// slice pop.
+	stagePool map[int][][]byte
+
 	// curProc tracks the process whose page table each core has installed.
 	curProc []*Process
 
@@ -334,20 +343,19 @@ func (k *Kernel) CurrentIdentity(cpu *hw.CPU) uint64 {
 // software page walk (used by the temporary-mapping transfer path, where
 // the charged traffic happens through the mapped window).
 func (k *Kernel) rawRead(p *Process, va hw.VA, n int) []byte {
-	out := make([]byte, 0, n)
-	for len(out) < n {
-		cur := va + hw.VA(len(out))
+	out := k.getStage(n)
+	for pos := 0; pos < n; {
+		cur := va + hw.VA(pos)
 		gpa, _, ok := p.PT.Walk(cur)
 		if !ok {
 			panic(fmt.Sprintf("mk: rawRead: %s va %#x unmapped", p.Name, uint64(cur)))
 		}
 		chunk := int(hw.PageSize - cur.PageOff())
-		if chunk > n-len(out) {
-			chunk = n - len(out)
+		if chunk > n-pos {
+			chunk = n - pos
 		}
-		buf := make([]byte, chunk)
-		k.Mach.Mem.Read(hw.HPA(gpa), buf)
-		out = append(out, buf...)
+		k.Mach.Mem.Read(hw.HPA(gpa), out[pos:pos+chunk])
+		pos += chunk
 	}
 	return out
 }

@@ -99,20 +99,32 @@ type Thread struct {
 }
 
 // Engine owns the event queue and the machine.
+//
+// Scheduling uses a baton handoff: exactly one goroutine at a time holds the
+// right to touch engine state (the event heap, seq). Run seeds the baton by
+// dispatching the first event; from then on, every thread that parks or
+// finishes runs the dispatch loop itself and hands the baton directly to the
+// next thread via its resume channel. A context switch therefore costs one
+// channel handoff, not a park-then-resume round trip through a central
+// scheduler goroutine — the event order processed is identical (the heap is
+// the same; only which goroutine pops it changes).
 type Engine struct {
 	Mach *hw.Machine
 
 	events  eventHeap
 	seq     uint64
-	yieldCh chan struct{}
+	done    chan struct{}
 	threads []*Thread
-	// Deterministic failure of Run when all threads are parked.
+	// Delivery errors (wake of a running thread) recorded by dispatch and
+	// returned by Run.
 	err error
 }
 
 // NewEngine creates an engine over the machine.
 func NewEngine(m *hw.Machine) *Engine {
-	return &Engine{Mach: m, yieldCh: make(chan struct{})}
+	// done is buffered so the drain signal can be sent from Run's own
+	// goroutine when the queue empties without ever handing off to a thread.
+	return &Engine{Mach: m, done: make(chan struct{}, 1)}
 }
 
 func (e *Engine) push(ev event) {
@@ -136,14 +148,19 @@ func (e *Engine) pop() event {
 // Go creates a thread on the given core and schedules its first run at the
 // core's current time. The body runs when Run is called.
 func (e *Engine) Go(name string, core *hw.CPU, body func(t *Thread)) *Thread {
-	th := &Thread{Name: name, Core: core, eng: e, resume: make(chan any), state: StateParked}
+	// resume is buffered so the dispatcher can hand a thread the baton and
+	// return immediately — including the case where a parking thread's
+	// dispatch loop resumes that same thread (its own wake is the next
+	// event), where an unbuffered send from the sole goroutine would
+	// deadlock.
+	th := &Thread{Name: name, Core: core, eng: e, resume: make(chan any, 1), state: StateParked}
 	e.threads = append(e.threads, th)
 	go func() {
 		<-th.resume
 		th.state = StateRunning
 		body(th)
 		th.state = StateFinished
-		e.yieldCh <- struct{}{}
+		e.dispatch()
 	}()
 	e.push(event{t: core.Clock, thread: th})
 	return th
@@ -164,10 +181,12 @@ func (e *Engine) Wake(t *Thread, at uint64, val any) {
 	e.push(event{t: at, thread: t, val: val})
 }
 
-// Run processes events until none remain. It returns an error if threads
-// are still parked when the queue drains (deadlock) or if one was woken in
-// an invalid state.
-func (e *Engine) Run() error {
+// dispatch runs the event loop on the calling goroutine until control is
+// handed to a thread (a send on its resume channel, after which the caller
+// must stop touching engine state) or the queue drains, which signals Run.
+// It is called by Run to seed the baton and by every thread as it parks or
+// finishes.
+func (e *Engine) dispatch() {
 	for len(e.events) > 0 {
 		ev := e.pop()
 		if ev.fn != nil {
@@ -179,7 +198,9 @@ func (e *Engine) Run() error {
 		case StateFinished:
 			continue // stale wake (e.g. expired timeout)
 		case StateRunning:
-			return fmt.Errorf("sim: wake of running thread %q", th.Name)
+			e.err = fmt.Errorf("sim: wake of running thread %q", th.Name)
+			e.done <- struct{}{}
+			return
 		}
 		// Serialize threads sharing a core: never start before the core's
 		// clock.
@@ -188,10 +209,20 @@ func (e *Engine) Run() error {
 		}
 		th.state = StateRunning
 		th.resume <- ev.val
-		<-e.yieldCh
+		return
 	}
-	if e.err != nil {
-		return e.err
+	e.done <- struct{}{}
+}
+
+// Run processes events until none remain. It returns an error if threads
+// are still parked when the queue drains (deadlock) or if one was woken in
+// an invalid state.
+func (e *Engine) Run() error {
+	e.dispatch()
+	<-e.done
+	if err := e.err; err != nil {
+		e.err = nil
+		return err
 	}
 	var stuck []string
 	for _, th := range e.threads {
@@ -209,10 +240,11 @@ func (e *Engine) Run() error {
 func (t *Thread) Now() uint64 { return t.Core.Clock }
 
 // Park blocks the thread until another thread or closure wakes it. It
-// returns the value passed to Wake.
+// returns the value passed to Wake. The parking goroutine dispatches the
+// next event itself before blocking, handing the scheduling baton on.
 func (t *Thread) Park() any {
 	t.state = StateParked
-	t.eng.yieldCh <- struct{}{}
+	t.eng.dispatch()
 	v := <-t.resume
 	t.state = StateRunning
 	return v
@@ -223,7 +255,17 @@ func (t *Thread) Park() any {
 // primitives call this before touching shared state so resources are
 // claimed in global time order.
 func (t *Thread) Checkpoint() {
-	t.eng.Wake(t, t.Core.Clock, nil)
+	e := t.eng
+	if len(e.events) == 0 || e.events[0].t > t.Core.Clock {
+		// Fast path: every pending event is strictly later than this
+		// thread's clock, so parking would pop the freshly pushed wake
+		// straight back and resume this same thread with nothing run in
+		// between. Skipping the round trip only skips one sequence number;
+		// the relative (t, seq) order of all other events is unchanged, so
+		// the schedule is identical.
+		return
+	}
+	e.Wake(t, t.Core.Clock, nil)
 	t.Park()
 }
 

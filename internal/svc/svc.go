@@ -43,6 +43,11 @@ const StatusOK = 0
 
 // Handler implements a service. env is the execution context in the
 // *server's* address space (whatever transport delivered the request).
+//
+// req.Data is only valid for the duration of the call: the transports reuse
+// the backing buffer for subsequent requests, so a handler that keeps
+// payload bytes must copy them (all in-tree handlers copy what they keep
+// into simulated memory or fresh slices).
 type Handler func(env *mk.Env, req Req) Resp
 
 // Conn invokes a service from a client environment.
@@ -133,10 +138,16 @@ func (c *ipcConn) Invoke(env *mk.Env, req Req) (Resp, error) {
 func ServeIPC(env *mk.Env, ep *mk.Endpoint, handler Handler) {
 	recvBuf := env.P.Alloc(4 * hw.PageSize)
 	outBuf := env.P.Alloc(4 * hw.PageSize)
+	// One serve loop is one server thread, so a single request buffer can be
+	// reused across iterations (handlers do not retain req.Data; see Handler).
+	var reqBuf []byte
 	env.K.Serve(env, ep, recvBuf, func(env *mk.Env, m mk.Msg) mk.Msg {
 		req := Req{Op: m.Regs[0], Args: [3]uint64{m.Regs[1], m.Regs[2], m.Regs[3]}}
 		if m.Len > 0 {
-			req.Data = make([]byte, m.Len)
+			if cap(reqBuf) < m.Len {
+				reqBuf = make([]byte, m.Len)
+			}
+			req.Data = reqBuf[:m.Len]
 			env.Read(m.Buf, req.Data, m.Len)
 		}
 		resp := handler(env, req)
@@ -161,10 +172,24 @@ type sbConn struct {
 // RegisterSkyBridgeServer registers handler as a SkyBridge server on env's
 // process and returns the server ID.
 func RegisterSkyBridgeServer(sb *core.SkyBridge, env *mk.Env, maxConns int, handler Handler) (int, error) {
+	// Direct server calls execute on the *calling* thread, so several
+	// simulated threads can be inside this wrapper at once (interleaved at
+	// park points). Request buffers therefore come from a free list: each
+	// in-flight call owns its buffer exclusively from pop to push, and the
+	// push happens only after the reply payload has been written out
+	// (handlers do not retain req.Data; see Handler).
+	var bufs [][]byte
 	return sb.RegisterServer(env, maxConns, 0, func(env *mk.Env, dreq core.Request) core.Response {
 		req := Req{Op: dreq.Regs[0], Args: [3]uint64{dreq.Regs[1], dreq.Regs[2], dreq.Regs[3]}}
+		var buf []byte
 		if dreq.Len > 0 {
-			req.Data = make([]byte, dreq.Len)
+			if n := len(bufs); n > 0 {
+				buf, bufs = bufs[n-1], bufs[:n-1]
+			}
+			if cap(buf) < dreq.Len {
+				buf = make([]byte, dreq.Len)
+			}
+			req.Data = buf[:dreq.Len]
 			env.Read(dreq.SharedBuf, req.Data, dreq.Len)
 		}
 		resp := handler(env, req)
@@ -172,6 +197,9 @@ func RegisterSkyBridgeServer(sb *core.SkyBridge, env *mk.Env, maxConns int, hand
 		if len(resp.Data) > 0 {
 			env.Write(dreq.SharedBuf, resp.Data, len(resp.Data))
 			out.Len = len(resp.Data)
+		}
+		if buf != nil {
+			bufs = append(bufs, buf)
 		}
 		return out
 	})
