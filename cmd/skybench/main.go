@@ -9,14 +9,14 @@
 //	skybench -run table2 -trace trace.json -metrics metrics.json
 //
 // Experiments: table1 table2 table4 table5 table6 fig2 fig7 fig8 fig9
-// fig10 fig11 ablations scaling async (-list prints them). Paper-scale
-// knobs: -records, -ops, -kvops, -clients, -scale.
+// fig10 fig11 ablations scaling async dbscale (-list prints them).
+// Paper-scale knobs: -records, -ops, -kvops, -clients, -scale.
 //
 // -benchout <kind>=<path> runs a standalone benchmark and writes its JSON
 // document: host (suite wall-clock timings), scaling (multicore sweep),
-// async (ring queue-depth sweep). Repeatable; -hostbench and
-// -scalingbench remain as deprecated aliases (each warns once per
-// process).
+// async (ring queue-depth sweep), db (SQLite/FS lock-and-fast-path
+// sweep). Repeatable; -hostbench and -scalingbench remain as deprecated
+// aliases (each warns once per process).
 //
 // Host-side accelerators: -hostcache on|off gates the walk-memo and
 // decode caches, -superblock on|off gates superblock direct-threaded
@@ -122,7 +122,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	benchOuts := map[string]string{}
-	flag.Func("benchout", "run a standalone benchmark and write its JSON: <kind>=<path>, kind one of host|scaling|async (repeatable)",
+	flag.Func("benchout", "run a standalone benchmark and write its JSON: <kind>=<path>, kind one of host|scaling|async|db (repeatable)",
 		func(v string) error { return parseBenchOut(benchOuts, v) })
 	flag.Parse()
 
@@ -263,9 +263,9 @@ func parseBenchOut(outs map[string]string, v string) error {
 	}
 	kind = strings.ToLower(strings.TrimSpace(kind))
 	switch kind {
-	case "host", "scaling", "async":
+	case "host", "scaling", "async", "db":
 	default:
-		return fmt.Errorf("unknown benchmark kind %q (host, scaling, async)", kind)
+		return fmt.Errorf("unknown benchmark kind %q (host, scaling, async, db)", kind)
 	}
 	if prev, dup := outs[kind]; dup {
 		return fmt.Errorf("duplicate -benchout kind %q (already writing %s)", kind, prev)
@@ -275,7 +275,7 @@ func parseBenchOut(outs map[string]string, v string) error {
 }
 
 // runBenchOuts runs the requested standalone benchmarks in a fixed order
-// (host, scaling, async) and writes each result where -benchout asked.
+// (host, scaling, async, db) and writes each result where -benchout asked.
 func runBenchOuts(outs map[string]string, sel map[string]bool, opts bench.Options, jobs int) error {
 	if path, ok := outs["host"]; ok {
 		if err := runHostBench(path, sel, opts, jobs); err != nil {
@@ -299,6 +299,16 @@ func runBenchOuts(outs map[string]string, sel map[string]bool, opts bench.Option
 		}
 		fmt.Print(r.Render())
 		if err := writeFile(path, func(w io.Writer) error { return bench.WriteAsyncBench(w, r) }); err != nil {
+			return err
+		}
+	}
+	if path, ok := outs["db"]; ok {
+		r, err := bench.DBScale(bench.DBScaleConfig{Records: opts.Records / 4, OpsPerClient: opts.Ops})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		if err := writeFile(path, func(w io.Writer) error { return bench.WriteDBBench(w, r) }); err != nil {
 			return err
 		}
 	}

@@ -69,12 +69,12 @@ func TestSelectExperimentsAllPlusUnknown(t *testing.T) {
 
 func TestParseBenchOut(t *testing.T) {
 	outs := map[string]string{}
-	for _, v := range []string{"host=a.json", "Scaling=b.json", "async=c.json"} {
+	for _, v := range []string{"host=a.json", "Scaling=b.json", "async=c.json", "db=d.json"} {
 		if err := parseBenchOut(outs, v); err != nil {
 			t.Fatalf("parseBenchOut(%q): %v", v, err)
 		}
 	}
-	if outs["host"] != "a.json" || outs["scaling"] != "b.json" || outs["async"] != "c.json" {
+	if outs["host"] != "a.json" || outs["scaling"] != "b.json" || outs["async"] != "c.json" || outs["db"] != "d.json" {
 		t.Errorf("outs = %v", outs)
 	}
 	for _, bad := range []string{"host=", "host", "=x.json", "fig7=x.json", "async=dup.json"} {

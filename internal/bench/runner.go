@@ -116,6 +116,13 @@ func Catalog() []Experiment {
 			}
 			return r.Render(), nil
 		}},
+		Experiment{Name: "dbscale", Label: "dbscale", Run: func(s *Session, o Options) (string, error) {
+			r, err := s.DBScale(DBScaleConfig{Records: o.Records / 4, OpsPerClient: o.Ops})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 	)
 	return units
 }

@@ -45,20 +45,31 @@ func (m ServerMode) String() string {
 // DBStack is an assembled three-tier pipeline: client DBs -> FS server ->
 // block-device server.
 type DBStack struct {
-	W       *World
-	FS      *fs.FS
-	Dev     *blockdev.Device
-	fsID    int // SkyBridge server id (ModeSB)
-	mode    ServerMode
-	eps     []*mk.Endpoint
-	fsProc  *mk.Process
-	devProc *mk.Process
+	W         *World
+	FS        *fs.FS
+	Dev       *blockdev.Device
+	fsID      int // SkyBridge server id (ModeSB)
+	fsAsyncID int // second FS registration for async rings (0 = none)
+	mode      ServerMode
+	eps       []*mk.Endpoint
+	fsProc    *mk.Process
+	devProc   *mk.Process
 }
 
-// BuildDBStack boots the servers for the given mode. Must be called before
-// clients spawn; it runs the engine to complete registration/service
-// startup, leaving server loops parked.
+// BuildDBStack boots the servers for the given mode with the
+// paper-faithful FS configuration (big lock, synchronous device IO). Must
+// be called before clients spawn; it runs the engine to complete
+// registration/service startup, leaving server loops parked.
 func BuildDBStack(w *World, mode ServerMode) (*DBStack, error) {
+	return BuildDBStackCfg(w, mode, fs.Config{}, false)
+}
+
+// BuildDBStackCfg is BuildDBStack with an explicit FS lock/IO
+// configuration. With asyncFS (ModeSB only) the FS handler registers a
+// second SkyBridge server dedicated to async rings: a ring occupies its
+// connection's shared buffer, so clients keep a separate sync connection
+// for control-path calls (open, fsync, journal writes).
+func BuildDBStackCfg(w *World, mode ServerMode, fcfg fs.Config, asyncFS bool) (*DBStack, error) {
 	k := w.K
 	st := &DBStack{W: w, mode: mode}
 	st.devProc = k.NewProcess("blockdev")
@@ -86,7 +97,7 @@ func BuildDBStack(w *World, mode ServerMode) (*DBStack, error) {
 				svc.ServeIPC(env, devEP, st.Dev.Handler())
 			})
 		}
-		st.FS = fs.New(st.fsProc, svc.NewIPC(st.fsProc, devEP))
+		st.FS = fs.NewFS(st.fsProc, svc.NewIPC(st.fsProc, devEP), fcfg)
 		// Thread 0 formats the file system; the other server threads park
 		// until it is mounted.
 		ready := false
@@ -127,13 +138,19 @@ func BuildDBStack(w *World, mode ServerMode) (*DBStack, error) {
 			if err != nil {
 				panic(err)
 			}
-			st.FS = fs.New(st.fsProc, devConn)
+			st.FS = fs.NewFS(st.fsProc, devConn, fcfg)
 			if err := st.FS.Mkfs(env, st.Dev.Blocks(), 256); err != nil {
 				panic(err)
 			}
 			st.fsID, err = svc.RegisterSkyBridgeServer(sb, env, 64, st.FS.Handler())
 			if err != nil {
 				panic(err)
+			}
+			if asyncFS {
+				st.fsAsyncID, err = svc.RegisterSkyBridgeServer(sb, env, 64, st.FS.Handler())
+				if err != nil {
+					panic(err)
+				}
 			}
 		})
 		if err := w.Eng.Run(); err != nil {
@@ -142,6 +159,17 @@ func BuildDBStack(w *World, mode ServerMode) (*DBStack, error) {
 	}
 	return st, nil
 }
+
+// FSAsyncConn opens an async ring to the FS's ring-dedicated registration
+// (BuildDBStackCfg with asyncFS). The caller must have created the ring
+// server via NewRingServer(st.FSAsyncID(), ...) first.
+func (st *DBStack) FSAsyncConn(env *mk.Env, qd, payloadCap int, pol mk.WakePolicy) (*svc.AsyncConn, error) {
+	return svc.OpenAsync(st.W.SB, env, st.fsAsyncID, qd, payloadCap, pol)
+}
+
+// FSAsyncID returns the ring-dedicated FS server id (0 when the stack was
+// built without asyncFS).
+func (st *DBStack) FSAsyncID() int { return st.fsAsyncID }
 
 // Close shuts the stack's IPC servers down so the engine can drain.
 func (st *DBStack) Close() {

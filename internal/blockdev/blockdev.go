@@ -128,6 +128,70 @@ func (c *Client) WriteBlock(env *mk.Env, bn int, data []byte) error {
 	return nil
 }
 
+// batchBlocks is how many full-size blocks fit in one batched crossing:
+// the 4-page shared buffer holds the ring headers plus three 4096-byte
+// slots (core.BatchLayout rounds each slot to a cache line).
+const batchBlocks = 3
+
+// ReadBlocks fetches the given blocks, batching up to three reads per
+// transport crossing when the connection supports it (svc.Batcher). The
+// RespCap hint sizes each ring slot for a full block reply even though
+// read requests carry no payload.
+func (c *Client) ReadBlocks(env *mk.Env, bns []int) ([][]byte, error) {
+	out := make([][]byte, 0, len(bns))
+	for start := 0; start < len(bns); start += batchBlocks {
+		end := start + batchBlocks
+		if end > len(bns) {
+			end = len(bns)
+		}
+		reqs := make([]Req, end-start)
+		for i, bn := range bns[start:end] {
+			reqs[i] = Req{Op: OpRead, Args: [3]uint64{uint64(bn)}, RespCap: BlockSize}
+		}
+		resps, err := svc.InvokeBatch(env, c.Conn, reqs)
+		if err != nil {
+			return nil, err
+		}
+		for i, resp := range resps {
+			if resp.Status != StatusOK {
+				return nil, fmt.Errorf("blockdev: read %d: status %d", bns[start+i], resp.Status)
+			}
+			out = append(out, resp.Data)
+		}
+	}
+	return out, nil
+}
+
+// WriteBlocks stores data[i] at block bns[i], batching up to three writes
+// per transport crossing. Within a batch the device applies entries in
+// submission order, so a caller folding a journal/log protocol into one
+// crossing keeps its write ordering.
+func (c *Client) WriteBlocks(env *mk.Env, bns []int, datas [][]byte) error {
+	if len(bns) != len(datas) {
+		return fmt.Errorf("blockdev: write batch: %d blocks, %d buffers", len(bns), len(datas))
+	}
+	for start := 0; start < len(bns); start += batchBlocks {
+		end := start + batchBlocks
+		if end > len(bns) {
+			end = len(bns)
+		}
+		reqs := make([]Req, end-start)
+		for i := range reqs {
+			reqs[i] = Req{Op: OpWrite, Args: [3]uint64{uint64(bns[start+i])}, Data: datas[start+i]}
+		}
+		resps, err := svc.InvokeBatch(env, c.Conn, reqs)
+		if err != nil {
+			return err
+		}
+		for i, resp := range resps {
+			if resp.Status != StatusOK {
+				return fmt.Errorf("blockdev: write %d: status %d", bns[start+i], resp.Status)
+			}
+		}
+	}
+	return nil
+}
+
 // Flush issues a device barrier.
 func (c *Client) Flush(env *mk.Env) error {
 	resp, err := c.Conn.Invoke(env, Req{Op: OpFlush})

@@ -414,6 +414,7 @@ func (r *AsyncRing) doorbell(env *mk.Env, forcedKey uint64, useForced bool) erro
 		tc = &threadCtx{proc: env.P, stack: []int{0}}
 		sb.tc[env.T] = tc
 	}
+	sb.ensureContext(cpu, tc)
 	slot, _, err := sb.RK.ResolveSlot(cpu, tc.proc, r.serverID, tc.stack)
 	if err != nil {
 		tr.End(span, cpu.Clock, obs.U("error", 1))

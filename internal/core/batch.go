@@ -86,12 +86,16 @@ func (conn *Connection) Layout(n, cap int) (BatchLayout, error) {
 }
 
 // batchCap returns the slot capacity a batch of requests needs: the
-// largest request payload (Layout floors it at batchSlotMin).
+// largest request payload or declared reply capacity (Layout floors it at
+// batchSlotMin).
 func batchCap(reqs []Request) int {
 	cap := 0
 	for i := range reqs {
 		if reqs[i].Len > cap {
 			cap = reqs[i].Len
+		}
+		if reqs[i].Cap > cap {
+			cap = reqs[i].Cap
 		}
 	}
 	return cap
@@ -190,6 +194,7 @@ func (sb *SkyBridge) DirectCallBatch(env *mk.Env, serverID int, reqs []Request) 
 		tc = &threadCtx{proc: env.P, stack: []int{0}}
 		sb.tc[env.T] = tc
 	}
+	sb.ensureContext(cpu, tc)
 	cpu.FlowID = fid
 	slot, _, err := sb.RK.ResolveSlot(cpu, tc.proc, serverID, tc.stack)
 	if err != nil {

@@ -105,6 +105,7 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 		tc = &threadCtx{proc: env.P, stack: []int{0}}
 		sb.tc[env.T] = tc
 	}
+	sb.ensureContext(cpu, tc)
 	cpu.FlowID = fid // tag slot-resolve hypercalls with the call's flow
 	slot, _, err := sb.RK.ResolveSlot(cpu, tc.proc, serverID, tc.stack)
 	if err != nil {
@@ -211,6 +212,7 @@ func (sb *SkyBridge) call(env *mk.Env, serverID int, req Request, timeout uint64
 // chain (clearing the thread's context when the chain fully unwinds).
 func (sb *SkyBridge) switchBack(env *mk.Env, tc *threadCtx) {
 	cpu := env.T.Core
+	sb.ensureContext(cpu, tc)
 	prev := tc.stack[len(tc.stack)-2]
 	if err := cpu.VMFunc(0, prev); err != nil {
 		panic(fmt.Sprintf("core: vmfunc back to slot %d: %v", prev, err))
@@ -220,6 +222,20 @@ func (sb *SkyBridge) switchBack(env *mk.Env, tc *threadCtx) {
 	if len(tc.stack) == 1 {
 		delete(sb.tc, env.T)
 	}
+}
+
+// ensureContext restores the chain's context process on the core before a
+// VMFUNC. A handler running under a direct call can park (server-side
+// locks, condition waits); threads of other processes may run on the core
+// meanwhile, installing *their* CR3 and EPTP lists. The resumed chain
+// resolves slots against its context process's list, and every server
+// view's CR3 remap is keyed on the context process's CR3 GPA — so a stale
+// context would make the switch target nil (VMFUNC_FAIL) or translate
+// through the wrong page table. The restore is the ordinary reschedule
+// context switch, issued lazily at the resumed thread's next crossing;
+// when the context is still resident this is a pointer compare.
+func (sb *SkyBridge) ensureContext(cpu *hw.CPU, tc *threadCtx) {
+	sb.K.EnsureOn(cpu, tc.proc)
 }
 
 // afterSwitch applies the no-VPID ablation: flush both TLBs on every EPTP

@@ -81,6 +81,12 @@ type Request struct {
 	// trampoline copies it into the connection's shared buffer.
 	Buf hw.VA
 	Len int
+	// Cap, when non-zero, is the reply payload capacity the caller expects
+	// back. Batched calls size their ring slots from max(Len, Cap) so a
+	// request with a small (or empty) payload can still receive a large
+	// reply — e.g. a batched block read. Ignored by unbatched DirectCall,
+	// whose replies use the whole shared buffer.
+	Cap int
 	// SharedBuf (set by the trampoline) is the server-side VA of the
 	// connection's shared buffer holding the payload.
 	SharedBuf hw.VA

@@ -353,8 +353,65 @@ func (t *Btree) scanFrom(env *mk.Env, no int, fn func(int64, []byte) bool) (bool
 		children = append(children, c.child)
 	}
 	children = append(children, bp.rightChild)
-	for _, ch := range children {
+	for i, ch := range children {
+		// Top up the readahead ring each step: the Get below retires the
+		// completion for ch, freeing a slot for a child further ahead.
+		if err := t.pager.Prefetch(env, children[i:]); err != nil {
+			return false, err
+		}
 		cont, err := t.scanFrom(env, ch, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// ScanFrom walks the tree in key order starting at the first key >= start,
+// invoking fn until it returns false (the YCSB SCAN access path).
+func (t *Btree) ScanFrom(env *mk.Env, start int64, fn func(key int64, value []byte) bool) error {
+	_, err := t.scanFromKey(env, t.Root, start, fn)
+	return err
+}
+
+// scanFromKey descends to the leaf containing start, then continues like
+// scanFrom across the remaining subtrees.
+func (t *Btree) scanFromKey(env *mk.Env, no int, start int64, fn func(int64, []byte) bool) (bool, error) {
+	pg, err := t.pager.Get(env, no)
+	if err != nil {
+		return false, err
+	}
+	bp, err := parsePage(env, pg)
+	if err != nil {
+		return false, err
+	}
+	if bp.typ == pageLeaf {
+		i := sort.Search(len(bp.cells), func(i int) bool { return bp.cells[i].key >= start })
+		for _, c := range bp.cells[i:] {
+			if !fn(c.key, c.val) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	// Children left of the start key hold only smaller keys — skip them.
+	j := sort.Search(len(bp.cells), func(i int) bool { return start <= bp.cells[i].key })
+	children := make([]int, 0, len(bp.cells)-j+1)
+	for _, c := range bp.cells[j:] {
+		children = append(children, c.child)
+	}
+	children = append(children, bp.rightChild)
+	for k, ch := range children {
+		if err := t.pager.Prefetch(env, children[k:]); err != nil {
+			return false, err
+		}
+		var cont bool
+		var err error
+		if k == 0 {
+			cont, err = t.scanFromKey(env, ch, start, fn)
+		} else {
+			cont, err = t.scanFrom(env, ch, fn)
+		}
 		if err != nil || !cont {
 			return cont, err
 		}

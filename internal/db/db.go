@@ -49,9 +49,15 @@ type DB struct {
 }
 
 // Open opens (creating if empty) a database stored in the named file on
-// the FS service.
+// the FS service, with synchronous one-call-per-page IO.
 func Open(env *mk.Env, proc *mk.Process, fsc *fs.Client, name string) (*DB, error) {
-	pager, err := OpenPager(env, proc, fsc, name)
+	return OpenIO(env, proc, fsc, name, PagerIO{})
+}
+
+// OpenIO is Open with an explicit pager IO mode (batched commits and/or
+// an async ring for prefetch and writeback).
+func OpenIO(env *mk.Env, proc *mk.Process, fsc *fs.Client, name string, io PagerIO) (*DB, error) {
+	pager, err := OpenPagerIO(env, proc, fsc, name, io)
 	if err != nil {
 		return nil, err
 	}
@@ -295,6 +301,19 @@ func (t *Table) Delete(env *mk.Env, rowid int64) (bool, error) {
 // Scan iterates all rows in rowid order.
 func (t *Table) Scan(env *mk.Env, fn func(rowid int64, vals []Value) bool) error {
 	return t.tree.Scan(env, func(key int64, rec []byte) bool {
+		vals, err := DecodeRecord(rec)
+		if err != nil {
+			return false
+		}
+		env.Compute(uint64(10 + len(rec)/8))
+		return fn(key, vals)
+	})
+}
+
+// ScanFrom iterates rows in rowid order starting at the first rowid >=
+// start, until fn returns false (range scans, YCSB workload E).
+func (t *Table) ScanFrom(env *mk.Env, start int64, fn func(rowid int64, vals []Value) bool) error {
+	return t.tree.ScanFrom(env, start, func(key int64, rec []byte) bool {
 		vals, err := DecodeRecord(rec)
 		if err != nil {
 			return false

@@ -1,11 +1,15 @@
 package db
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
+	"skybridge/internal/core"
 	"skybridge/internal/fs"
 	"skybridge/internal/hw"
 	"skybridge/internal/mk"
+	"skybridge/internal/svc"
 )
 
 // PageSize is the database page size.
@@ -28,10 +32,24 @@ type page struct {
 	valid  bool
 }
 
+// PagerIO selects how the pager routes its FS traffic.
+type PagerIO struct {
+	// Batch folds each commit's journal-record writes and dirty-page
+	// writeback into batched WriteAt crossings (svc.InvokeBatch) instead
+	// of one crossing per page.
+	Batch bool
+	// Async, when non-nil, is a second connection to the FS server with
+	// an async submission/completion ring: commit writeback streams
+	// through the ring (overlapping page writes with the server applying
+	// them), and Prefetch warms the cache ahead of B+tree scans.
+	Async *svc.AsyncConn
+}
+
 // Pager caches database pages over a file served by the FS, with a
 // rollback journal providing transactional atomicity.
 type Pager struct {
 	fsc     *fs.Client
+	io      PagerIO
 	fd      uint64
 	jname   string
 	name    string
@@ -41,22 +59,34 @@ type Pager struct {
 	clock   uint64
 	inTx    bool
 	journal map[int][]byte // original images of pages dirtied this tx
+	// pf lists the page numbers of prefetch reads still in flight on the
+	// async ring, in submission order (completions arrive in that order,
+	// so pf[0] always names the next completion to install).
+	pf []int
 
 	// Stats.
 	Hits, Misses uint64
 	FsReads      uint64
 	FsWrites     uint64
+	Prefetches   uint64
 }
 
 // OpenPager opens (creating if needed) the database file and its journal,
-// rolling back any hot journal left by a crash.
+// rolling back any hot journal left by a crash. All IO is synchronous
+// one-call-per-page; use OpenPagerIO for the fast paths.
 func OpenPager(env *mk.Env, proc *mk.Process, fsc *fs.Client, name string) (*Pager, error) {
+	return OpenPagerIO(env, proc, fsc, name, PagerIO{})
+}
+
+// OpenPagerIO is OpenPager with an explicit IO mode.
+func OpenPagerIO(env *mk.Env, proc *mk.Process, fsc *fs.Client, name string, io PagerIO) (*Pager, error) {
 	fd, size, err := fsc.Open(env, name, true)
 	if err != nil {
 		return nil, err
 	}
 	p := &Pager{
 		fsc:     fsc,
+		io:      io,
 		fd:      fd,
 		name:    name,
 		jname:   name + "-journal",
@@ -74,6 +104,11 @@ func OpenPager(env *mk.Env, proc *mk.Process, fsc *fs.Client, name string) (*Pag
 	return p, nil
 }
 
+// SetIO swaps the pager's IO mode, e.g. to move onto an async ring after
+// a load phase. The caller must not swap while ring operations are in
+// flight (mid-Prefetch or mid-writeback).
+func (p *Pager) SetIO(io PagerIO) { p.io = io }
+
 // NPages returns the current database size in pages.
 func (p *Pager) NPages() int { return p.npages }
 
@@ -87,6 +122,24 @@ func (p *Pager) Get(env *mk.Env, no int) (*page, error) {
 		return pg, nil
 	}
 	p.Misses++
+	if p.pfHas(no) {
+		// The page is already on its way in: reap ring completions until
+		// it lands instead of issuing a duplicate synchronous read.
+		if err := p.io.Async.Flush(env); err != nil {
+			return nil, err
+		}
+		for p.pfHas(no) {
+			if err := p.reapPrefetch(env, 1); err != nil {
+				return nil, err
+			}
+		}
+		if pg, ok := p.index[no]; ok {
+			pg.lru = p.clock
+			return pg, nil
+		}
+		// Install dropped the page (every slot dirty): fall through to the
+		// synchronous path, which fails the same way a plain miss would.
+	}
 	var victim *page
 	for i := range p.cache {
 		pg := &p.cache[i]
@@ -187,48 +240,66 @@ func (p *Pager) Commit(env *mk.Env) error {
 		return fmt.Errorf("db: commit outside transaction")
 	}
 	p.inTx = false
+	if p.io.Async != nil {
+		// The commit's ring traffic (async writeback) pairs completions
+		// with its own submissions; in-flight prefetch reads must retire
+		// first.
+		if err := p.drainPrefetch(env); err != nil {
+			return err
+		}
+	}
 	if len(p.journal) == 0 {
 		return nil
 	}
-	// 1. Journal file: header (count) + original page images.
+	// 1. Journal file: original page images in page-number order (the
+	// map's iteration order must not leak into the on-disk layout or the
+	// batched submission order), then the header that commits them.
 	jfd, _, err := p.fsc.Open(env, p.jname, true)
 	if err != nil {
 		return err
 	}
-	hdr := make([]byte, 16)
-	cnt := 0
-	off := PageSize
+	nos := make([]int, 0, len(p.journal))
 	for no, orig := range p.journal {
 		if orig == nil {
 			continue // page was fresh; nothing to restore
 		}
+		nos = append(nos, no)
+	}
+	sort.Ints(nos)
+	offs := make([]int, 0, len(nos)+1)
+	datas := make([][]byte, 0, len(nos)+1)
+	off := PageSize
+	for _, no := range nos {
 		rec := make([]byte, 8+PageSize)
 		putU64(rec, 0, uint64(no))
-		copy(rec[8:], orig)
-		if err := p.fsc.WriteAt(env, jfd, off, rec); err != nil {
-			return err
-		}
+		copy(rec[8:], p.journal[no])
+		offs = append(offs, off)
+		datas = append(datas, rec)
 		off += len(rec)
-		cnt++
 	}
+	hdr := make([]byte, 16)
 	putU64(hdr, 0, journalMagic)
-	putU64(hdr, 8, uint64(cnt))
-	if err := p.fsc.WriteAt(env, jfd, 0, hdr); err != nil {
+	putU64(hdr, 8, uint64(len(nos)))
+	offs = append(offs, 0)
+	datas = append(datas, hdr)
+	if p.io.Batch {
+		err = p.fsc.WriteAtBatch(env, jfd, offs, datas)
+	} else {
+		for i := range offs {
+			if err = p.fsc.WriteAt(env, jfd, offs[i], datas[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
 		return err
 	}
 	if err := p.fsc.Fsync(env); err != nil {
 		return err
 	}
 	// 2. Write dirty pages home.
-	for i := range p.cache {
-		pg := &p.cache[i]
-		if pg.valid && pg.dirty {
-			p.FsWrites++
-			if err := p.fsc.WriteAt(env, p.fd, pg.no*PageSize, pg.data); err != nil {
-				return err
-			}
-			pg.dirty = false
-		}
+	if err := p.writeback(env); err != nil {
+		return err
 	}
 	if err := p.fsc.Fsync(env); err != nil {
 		return err
@@ -239,6 +310,241 @@ func (p *Pager) Commit(env *mk.Env) error {
 	}
 	p.journal = make(map[int][]byte)
 	return nil
+}
+
+// writeback flushes every dirty cached page to the database file, through
+// the async ring, batched crossings, or one call per page depending on
+// the pager's IO mode.
+func (p *Pager) writeback(env *mk.Env) error {
+	if p.io.Async != nil {
+		return p.writebackAsync(env)
+	}
+	if p.io.Batch {
+		var offs []int
+		var datas [][]byte
+		for i := range p.cache {
+			pg := &p.cache[i]
+			if pg.valid && pg.dirty {
+				p.FsWrites++
+				offs = append(offs, pg.no*PageSize)
+				datas = append(datas, pg.data)
+				pg.dirty = false
+			}
+		}
+		return p.fsc.WriteAtBatch(env, p.fd, offs, datas)
+	}
+	for i := range p.cache {
+		pg := &p.cache[i]
+		if pg.valid && pg.dirty {
+			p.FsWrites++
+			if err := p.fsc.WriteAt(env, p.fd, pg.no*PageSize, pg.data); err != nil {
+				return err
+			}
+			pg.dirty = false
+		}
+	}
+	return nil
+}
+
+// writebackAsync streams the dirty pages through the submission ring,
+// keeping up to queue-depth writes in flight so the FS server applies
+// earlier pages while the client stages later ones. All completions are
+// reaped before returning — the caller's Fsync must order after every
+// write.
+func (p *Pager) writebackAsync(env *mk.Env) error {
+	ac := p.io.Async
+	pending := 0
+	check := func(resps []svc.Resp) error {
+		pending -= len(resps)
+		for _, r := range resps {
+			if r.Status != fs.StatusOK {
+				return fmt.Errorf("db: async writeback failed: status %d", r.Status)
+			}
+		}
+		return nil
+	}
+	for i := range p.cache {
+		pg := &p.cache[i]
+		if !pg.valid || !pg.dirty {
+			continue
+		}
+		p.FsWrites++
+		req := svc.Req{Op: fs.OpWrite, Args: [3]uint64{p.fd, uint64(pg.no * PageSize)}, Data: pg.data}
+		for {
+			err := ac.Submit(env, req)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, core.ErrRingFull) {
+				return err
+			}
+			if err := ac.Flush(env); err != nil {
+				return err
+			}
+			resps, err := ac.Reap(env, 1)
+			if err != nil {
+				return err
+			}
+			if err := check(resps); err != nil {
+				return err
+			}
+		}
+		pending++
+		pg.dirty = false
+	}
+	if pending > 0 {
+		if err := ac.Flush(env); err != nil {
+			return err
+		}
+		resps, err := ac.Reap(env, pending)
+		if err != nil {
+			return err
+		}
+		if err := check(resps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefetchWindow bounds one Prefetch call: readahead past the next few
+// pages evicts more of the cache than the scan will get back (a B+tree
+// interior node can list far more children than a bounded scan visits).
+const prefetchWindow = 8
+
+// Prefetch starts warming the cache with the given pages through the
+// async ring and returns with the reads still in flight: the caller keeps
+// scanning already-cached pages while the FS server fills the ring, and
+// Get reaps a prefetched page the moment it is actually needed. Pages
+// already cached, already in flight, or beyond the file are skipped, and
+// at most prefetchWindow pages are fetched; fetched pages that find no
+// clean cache slot are dropped. A no-op without an async ring, so B+tree
+// scans can call it unconditionally.
+func (p *Pager) Prefetch(env *mk.Env, nos []int) error {
+	ac := p.io.Async
+	if ac == nil {
+		return nil
+	}
+	submitted := 0
+	for _, no := range nos {
+		if len(p.pf) >= prefetchWindow {
+			break
+		}
+		if _, ok := p.index[no]; ok {
+			continue
+		}
+		if no < 0 || no >= p.npages || p.pfHas(no) {
+			continue
+		}
+		err := ac.Submit(env, svc.Req{Op: fs.OpRead, Args: [3]uint64{p.fd, uint64(no * PageSize), PageSize}})
+		if errors.Is(err, core.ErrRingFull) {
+			// Readahead fills free ring slots and never blocks: stalling
+			// the scan to make room would serialize it on exactly the
+			// latency prefetch exists to hide. The next Prefetch (or a Get
+			// reaping on demand) tops the ring back up.
+			break
+		}
+		if err != nil {
+			return err
+		}
+		p.Prefetches++
+		p.pf = append(p.pf, no)
+		submitted++
+	}
+	if submitted > 0 {
+		// Publish the tail (a doorbell only if the server's poll loop went
+		// to sleep); the reaps happen on demand in Get or drainPrefetch.
+		return ac.Flush(env)
+	}
+	return nil
+}
+
+// reapPrefetch reaps at least minN in-flight prefetch completions and
+// installs them. Completions arrive in submission order, so they pair
+// with p.pf positionally.
+func (p *Pager) reapPrefetch(env *mk.Env, minN int) error {
+	resps, err := p.io.Async.Reap(env, minN)
+	if err != nil {
+		return err
+	}
+	for _, r := range resps {
+		no := p.pf[0]
+		p.pf = p.pf[1:]
+		if r.Status != fs.StatusOK {
+			return fmt.Errorf("db: prefetch page %d: status %d", no, r.Status)
+		}
+		p.installPage(env, no, r.Data)
+	}
+	return nil
+}
+
+// drainPrefetch retires every in-flight prefetch read. Ring users that
+// pair completions with their own submissions positionally (async
+// writeback) must drain first, and so must anything that orders against
+// reads (commit).
+func (p *Pager) drainPrefetch(env *mk.Env) error {
+	if len(p.pf) == 0 {
+		return nil
+	}
+	if err := p.io.Async.Flush(env); err != nil {
+		return err
+	}
+	for len(p.pf) > 0 {
+		if err := p.reapPrefetch(env, len(p.pf)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pfHas reports whether page no has a prefetch read in flight.
+func (p *Pager) pfHas(no int) bool {
+	for _, v := range p.pf {
+		if v == no {
+			return true
+		}
+	}
+	return false
+}
+
+// installPage caches a prefetched page image, evicting the
+// least-recently-used clean page. Under pressure (every slot dirty) the
+// prefetch is dropped rather than displacing transaction state.
+func (p *Pager) installPage(env *mk.Env, no int, data []byte) {
+	if _, ok := p.index[no]; ok {
+		return
+	}
+	p.clock++
+	var victim *page
+	for i := range p.cache {
+		pg := &p.cache[i]
+		if !pg.valid {
+			victim = pg
+			break
+		}
+		if pg.dirty {
+			continue
+		}
+		if victim == nil || pg.lru < victim.lru {
+			victim = pg
+		}
+	}
+	if victim == nil {
+		return
+	}
+	if victim.valid {
+		delete(p.index, victim.no)
+	}
+	if len(data) < PageSize {
+		data = append(data, make([]byte, PageSize-len(data))...)
+	}
+	victim.no = no
+	victim.data = append(victim.data[:0], data...)
+	victim.dirty = false
+	victim.valid = true
+	victim.lru = p.clock
+	p.index[no] = victim
+	env.Write(victim.slotVA, nil, PageSize)
 }
 
 // Rollback discards the transaction's in-memory changes.

@@ -1,0 +1,91 @@
+package fs
+
+import (
+	"errors"
+	"testing"
+
+	"skybridge/internal/mk"
+)
+
+// tinyCache builds a bcache with nslots total buffers over the mounted
+// world's device, so tests can force exhaustion without filling a real
+// 128-buffer cache.
+func tinyCache(f *FS, nslots int, cfg Config) *bcache {
+	region := f.Proc.Alloc(nslots * BlockSize)
+	return newBcache(f.dev, region, int(f.sb.LogStart), nslots, cfg, f.Proc.Kernel())
+}
+
+// TestCacheExhaustedSentinel pins the typed sentinel: when every buffer
+// is referenced, get reports ErrCacheExhausted (matched with errors.Is),
+// and releasing a reference makes the same request succeed.
+func TestCacheExhaustedSentinel(t *testing.T) {
+	fsWorld(t, 512, func(env *mk.Env, f *FS, c *Client) {
+		bc := tinyCache(f, 2, Config{})
+		b0, err := bc.get(env, 10)
+		if err != nil {
+			t.Fatalf("get 10: %v", err)
+		}
+		if _, err := bc.get(env, 11); err != nil {
+			t.Fatalf("get 11: %v", err)
+		}
+		_, err = bc.get(env, 12)
+		if err == nil {
+			t.Fatal("get 12 with all buffers referenced: want error, got nil")
+		}
+		if !errors.Is(err, ErrCacheExhausted) {
+			t.Fatalf("get 12: err = %v, want errors.Is(_, ErrCacheExhausted)", err)
+		}
+		// Cache pressure must be distinguishable from device faults.
+		if errors.Is(err, errors.New("other")) {
+			t.Fatal("sentinel matched an unrelated error")
+		}
+		bc.put(b0)
+		if _, err := bc.get(env, 12); err != nil {
+			t.Fatalf("get 12 after releasing a buffer: %v", err)
+		}
+	})
+}
+
+// TestCacheExhaustedDirty covers the other exhaustion cause: buffers
+// dirtied by an uncommitted transaction are pinned and not evictable,
+// and committing unpins them.
+func TestCacheExhaustedDirty(t *testing.T) {
+	fsWorld(t, 512, func(env *mk.Env, f *FS, c *Client) {
+		bc := tinyCache(f, 2, Config{})
+		bc.inTx = true
+		for _, bn := range []int{10, 11} {
+			b, err := bc.get(env, bn)
+			if err != nil {
+				t.Fatalf("get %d: %v", bn, err)
+			}
+			bc.write(env, b, 0, []byte{0xAB})
+			bc.put(b)
+		}
+		if _, err := bc.get(env, 12); !errors.Is(err, ErrCacheExhausted) {
+			t.Fatalf("get 12 with all buffers dirty: err = %v, want ErrCacheExhausted", err)
+		}
+		if err := bc.commitTx(env); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		if _, err := bc.get(env, 12); err != nil {
+			t.Fatalf("get 12 after commit: %v", err)
+		}
+	})
+}
+
+// TestCacheExhaustedFineShard checks the sharded cache: exhaustion is
+// per shard, so a full shard errors while its sibling still has room.
+func TestCacheExhaustedFineShard(t *testing.T) {
+	fsWorld(t, 512, func(env *mk.Env, f *FS, c *Client) {
+		bc := tinyCache(f, 2, Config{Lock: LockFine}) // 2 shards x 1 slot
+		if _, err := bc.get(env, 10); err != nil {    // shard 0
+			t.Fatalf("get 10: %v", err)
+		}
+		if _, err := bc.get(env, 12); !errors.Is(err, ErrCacheExhausted) { // shard 0 again
+			t.Fatalf("get 12: err = %v, want ErrCacheExhausted", err)
+		}
+		if _, err := bc.get(env, 11); err != nil { // shard 1 has room
+			t.Fatalf("get 11 on free shard: %v", err)
+		}
+	})
+}

@@ -12,34 +12,145 @@ import (
 // rootInum is the root directory's inode.
 const rootInum = 1
 
+// LockMode selects the FS's concurrency discipline.
+type LockMode int
+
+const (
+	// LockBig serializes every operation behind one kernel-backed lock —
+	// the paper's xv6fs port, and the cause of Figures 9-11's negative
+	// scaling.
+	LockBig LockMode = iota
+	// LockFine replaces the big lock with per-inode stripe locks, a
+	// sharded buffer cache, and a group-commit log that admits readers
+	// while a commit is in flight.
+	LockFine
+)
+
+// Config selects the FS's locking discipline and device-IO routing.
+type Config struct {
+	Lock LockMode
+	// BatchIO folds the commit protocol's block writes (and recovery's
+	// reads) into batched transport crossings (core.DirectCallBatch when
+	// the device connection is a SkyBridge one).
+	BatchIO bool
+}
+
+// nstripes is the inode-lock stripe count (LockFine). The root
+// directory's stripe doubles as the namespace lock: Open/Close/Unlink
+// take it first, so the only nested stripe order is root → target.
+const nstripes = 32
+
 // FS is the file-system server state.
 type FS struct {
 	Proc *mk.Process
 	dev  *blockdev.Client
 	sb   *Superblock
 	bc   *bcache
+	cfg  Config
 
 	// Lock is the single big lock serializing every operation (§6.5). It
 	// is kernel-backed: contended handoff goes through the kernel (with
 	// cross-core IPIs), which is what makes the FS the scalability
-	// bottleneck of Figures 9-11.
+	// bottleneck of Figures 9-11. Unused when cfg.Lock is LockFine.
 	Lock *mk.KMutex
+
+	// stripes/alloclk are the LockFine replacement: inum%nstripes picks
+	// the stripe serializing operations on an inode, and alloclk covers
+	// the block allocator's read-bit→write-bit window (which can park on
+	// a cache-shard lock, so it needs its own exclusion).
+	stripes []*mk.KMutex
+	alloclk *mk.KMutex
 
 	fds    map[uint64]uint64 // fd -> inum
 	nextFD uint64
 }
 
-// New creates an FS server bound to a device connection. The cache region
-// is allocated inside proc.
+// New creates a big-lock FS server bound to a device connection — the
+// paper-faithful configuration. The cache region is allocated inside proc.
 func New(proc *mk.Process, dev svc.Conn) *FS {
+	return NewFS(proc, dev, Config{})
+}
+
+// NewFS creates an FS server with an explicit lock/IO configuration.
+func NewFS(proc *mk.Process, dev svc.Conn, cfg Config) *FS {
 	f := &FS{
 		Proc:   proc,
 		dev:    &blockdev.Client{Conn: dev},
+		cfg:    cfg,
 		fds:    make(map[uint64]uint64),
 		nextFD: 3,
 		Lock:   proc.Kernel().NewKMutex("fs.biglock"),
 	}
+	if cfg.Lock == LockFine {
+		k := proc.Kernel()
+		f.stripes = make([]*mk.KMutex, nstripes)
+		for i := range f.stripes {
+			f.stripes[i] = k.NewKMutex(fmt.Sprintf("fs.stripe%d", i))
+		}
+		f.alloclk = k.NewKMutex("fs.alloc")
+	}
 	return f
+}
+
+// fine reports whether fine-grained locking is active.
+func (f *FS) fine() bool { return f.cfg.Lock == LockFine }
+
+// stripe returns the lock covering inum in fine mode.
+func (f *FS) stripe(inum uint64) *mk.KMutex { return f.stripes[inum%nstripes] }
+
+// lockNS acquires the namespace lock — the big lock, or the root
+// directory's stripe (which also guards the fd table and inode
+// allocation) in fine mode — and returns its unlock.
+func (f *FS) lockNS(env *mk.Env) func() {
+	m := f.Lock
+	if f.fine() {
+		m = f.stripe(rootInum)
+	}
+	m.Lock(env)
+	return func() { m.Unlock(env) }
+}
+
+// lockFD resolves fd and acquires the lock covering its inode. In fine
+// mode the fd-table lookup itself needs no lock: it crosses no park
+// point, so the DES executes it atomically; the inode's stripe then
+// serializes the operation.
+func (f *FS) lockFD(env *mk.Env, fd uint64) (uint64, func(), error) {
+	if !f.fine() {
+		f.Lock.Lock(env)
+		inum, ok := f.fds[fd]
+		if !ok {
+			f.Lock.Unlock(env)
+			return 0, nil, fmt.Errorf("fs: bad fd %d", fd)
+		}
+		return inum, func() { f.Lock.Unlock(env) }, nil
+	}
+	inum, ok := f.fds[fd]
+	if !ok {
+		return 0, nil, fmt.Errorf("fs: bad fd %d", fd)
+	}
+	st := f.stripe(inum)
+	st.Lock(env)
+	return inum, func() { st.Unlock(env) }, nil
+}
+
+// begin opens a log transaction: exclusive under the big lock, a
+// group-commit reservation in fine mode.
+func (f *FS) begin(env *mk.Env) {
+	if f.fine() {
+		f.bc.reserve(env)
+	} else {
+		f.bc.beginTx()
+	}
+}
+
+// end closes the transaction begun by begin. Under the big lock it
+// commits immediately; in fine mode the last releaser of an overlapping
+// group commits for everyone.
+func (f *FS) end(env *mk.Env) error {
+	if f.fine() {
+		return f.bc.release(env)
+	}
+	return f.bc.commitTx(env)
 }
 
 // Mkfs formats the device and mounts the file system.
@@ -84,12 +195,12 @@ func (f *FS) Mkfs(env *mk.Env, totalBlocks, ninodes int) error {
 		return err
 	}
 	// Root directory: inode 1.
-	f.bc.beginTx()
+	f.begin(env)
 	root := dinode{Type: TypeDir, Nlink: 1}
 	if err := f.writeInode(env, rootInum, root); err != nil {
 		return err
 	}
-	return f.bc.commitTx(env)
+	return f.end(env)
 }
 
 // Mount reads the superblock and replays any committed log.
@@ -104,7 +215,7 @@ func (f *FS) Mount(env *mk.Env) error {
 	}
 	f.sb = sb
 	region := f.Proc.Alloc(nbuf * BlockSize)
-	f.bc = newBcache(f.dev, region, int(sb.LogStart))
+	f.bc = newBcache(f.dev, region, int(sb.LogStart), nbuf, f.cfg, f.Proc.Kernel())
 	return f.bc.recover(env)
 }
 
@@ -113,7 +224,35 @@ func (f *FS) Superblock() *Superblock { return f.sb }
 
 // Cache exposes buffer-cache statistics.
 func (f *FS) Cache() (hits, misses, commits uint64) {
-	return f.bc.Hits, f.bc.Misses, f.bc.Commits
+	hits, misses = f.bc.stats()
+	return hits, misses, f.bc.Commits
+}
+
+// LockStats sums the acquisition/contention counters over every lock the
+// configured mode uses (the big lock, or the stripes plus the allocator
+// and log locks), so biglock and finelock cells report comparable totals.
+func (f *FS) LockStats() (acq, contended, waitCycles, wakeIPIs uint64) {
+	add := func(m *mk.KMutex) {
+		if m == nil {
+			return
+		}
+		acq += m.Acquisitions
+		contended += m.Contended
+		waitCycles += m.WaitCycles
+		wakeIPIs += m.WakeIPIs
+	}
+	add(f.Lock)
+	for _, st := range f.stripes {
+		add(st)
+	}
+	add(f.alloclk)
+	if f.bc != nil {
+		add(f.bc.loglk)
+		if f.bc.logCond != nil {
+			wakeIPIs += f.bc.logCond.WakeIPIs
+		}
+	}
+	return acq, contended, waitCycles, wakeIPIs
 }
 
 // --- directory operations (single root directory, like the paper's port) ---
@@ -184,12 +323,21 @@ func (f *FS) dirUnlink(env *mk.Env, name string) (uint64, error) {
 	return 0, fmt.Errorf("fs: unlink %q: not found", name)
 }
 
-// --- file operations (each takes the big lock) ---
+// --- file operations ---
+//
+// Under the big lock every operation takes f.Lock. In fine mode the
+// stripe covering the operated-on inode serializes the operation; the
+// root stripe doubles as the namespace/fd-table lock; and a transaction
+// is a group-commit reservation. Lock order is: root stripe → target
+// stripe → reservation → alloclk → shard locks, with loglk a leaf. A
+// stripe is never acquired while a reservation is held — a reservation
+// holder waiting on a stripe whose owner is waiting for log capacity
+// would deadlock.
 
 // Open opens (optionally creating) a file, returning (fd, size).
 func (f *FS) Open(env *mk.Env, name string, create bool) (uint64, uint64, error) {
-	f.Lock.Lock(env)
-	defer f.Lock.Unlock(env)
+	unlock := f.lockNS(env)
+	defer unlock()
 
 	inum, ok, err := f.dirLookup(env, name)
 	if err != nil {
@@ -199,15 +347,17 @@ func (f *FS) Open(env *mk.Env, name string, create bool) (uint64, uint64, error)
 		if !create {
 			return 0, 0, fmt.Errorf("fs: open %q: not found", name)
 		}
-		f.bc.beginTx()
+		f.begin(env)
 		inum, err = f.allocInode(env, TypeFile)
 		if err != nil {
+			f.end(env)
 			return 0, 0, err
 		}
 		if err := f.dirLink(env, name, inum); err != nil {
+			f.end(env)
 			return 0, 0, err
 		}
-		if err := f.bc.commitTx(env); err != nil {
+		if err := f.end(env); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -223,28 +373,27 @@ func (f *FS) Open(env *mk.Env, name string, create bool) (uint64, uint64, error)
 
 // Read reads n bytes at off from fd.
 func (f *FS) Read(env *mk.Env, fd uint64, off, n int) ([]byte, error) {
-	f.Lock.Lock(env)
-	defer f.Lock.Unlock(env)
-	inum, ok := f.fds[fd]
-	if !ok {
-		return nil, fmt.Errorf("fs: bad fd %d", fd)
+	inum, unlock, err := f.lockFD(env, fd)
+	if err != nil {
+		return nil, err
 	}
+	defer unlock()
 	return f.readi(env, inum, off, n)
 }
 
 // Write writes data at off into fd. Each write is one log transaction.
 func (f *FS) Write(env *mk.Env, fd uint64, off int, data []byte) (int, error) {
-	f.Lock.Lock(env)
-	defer f.Lock.Unlock(env)
-	inum, ok := f.fds[fd]
-	if !ok {
-		return 0, fmt.Errorf("fs: bad fd %d", fd)
-	}
-	f.bc.beginTx()
-	if err := f.writei(env, inum, off, data); err != nil {
+	inum, unlock, err := f.lockFD(env, fd)
+	if err != nil {
 		return 0, err
 	}
-	if err := f.bc.commitTx(env); err != nil {
+	defer unlock()
+	f.begin(env)
+	if err := f.writei(env, inum, off, data); err != nil {
+		f.end(env)
+		return 0, err
+	}
+	if err := f.end(env); err != nil {
 		return 0, err
 	}
 	return len(data), nil
@@ -252,12 +401,11 @@ func (f *FS) Write(env *mk.Env, fd uint64, off int, data []byte) (int, error) {
 
 // Stat returns the file size.
 func (f *FS) Stat(env *mk.Env, fd uint64) (uint64, error) {
-	f.Lock.Lock(env)
-	defer f.Lock.Unlock(env)
-	inum, ok := f.fds[fd]
-	if !ok {
-		return 0, fmt.Errorf("fs: bad fd %d", fd)
+	inum, unlock, err := f.lockFD(env, fd)
+	if err != nil {
+		return 0, err
 	}
+	defer unlock()
 	d, err := f.readInode(env, inum)
 	if err != nil {
 		return 0, err
@@ -267,8 +415,8 @@ func (f *FS) Stat(env *mk.Env, fd uint64) (uint64, error) {
 
 // Close releases a descriptor.
 func (f *FS) Close(env *mk.Env, fd uint64) error {
-	f.Lock.Lock(env)
-	defer f.Lock.Unlock(env)
+	unlock := f.lockNS(env)
+	defer unlock()
 	if _, ok := f.fds[fd]; !ok {
 		return fmt.Errorf("fs: bad fd %d", fd)
 	}
@@ -278,40 +426,67 @@ func (f *FS) Close(env *mk.Env, fd uint64) error {
 
 // Truncate empties a file.
 func (f *FS) Truncate(env *mk.Env, fd uint64) error {
-	f.Lock.Lock(env)
-	defer f.Lock.Unlock(env)
-	inum, ok := f.fds[fd]
-	if !ok {
-		return fmt.Errorf("fs: bad fd %d", fd)
-	}
-	f.bc.beginTx()
-	if err := f.itrunc(env, inum); err != nil {
+	inum, unlock, err := f.lockFD(env, fd)
+	if err != nil {
 		return err
 	}
-	return f.bc.commitTx(env)
+	defer unlock()
+	f.begin(env)
+	if err := f.itrunc(env, inum); err != nil {
+		f.end(env)
+		return err
+	}
+	return f.end(env)
 }
 
 // Unlink removes a file name and frees its inode and blocks.
 func (f *FS) Unlink(env *mk.Env, name string) error {
-	f.Lock.Lock(env)
-	defer f.Lock.Unlock(env)
-	f.bc.beginTx()
+	unlock := f.lockNS(env)
+	defer unlock()
+	if f.fine() {
+		// Take the target's stripe before reserving: a pre-lookup finds
+		// the inode so the root → target stripe order holds without a
+		// reservation in hand.
+		inum, ok, err := f.dirLookup(env, name)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("fs: unlink %q: not found", name)
+		}
+		if st := f.stripe(inum); st != f.stripe(rootInum) {
+			st.Lock(env)
+			defer st.Unlock(env)
+		}
+	}
+	f.begin(env)
 	inum, err := f.dirUnlink(env, name)
 	if err != nil {
-		f.bc.commitTx(env)
+		f.end(env)
 		return err
 	}
 	if err := f.itrunc(env, inum); err != nil {
+		f.end(env)
 		return err
 	}
 	if err := f.writeInode(env, inum, dinode{}); err != nil {
+		f.end(env)
 		return err
 	}
-	return f.bc.commitTx(env)
+	return f.end(env)
 }
 
-// Fsync flushes the device (the log already commits per write).
+// Fsync flushes the device (the log already commits per write). In fine
+// mode it first drains in-flight reservations and commits the logged
+// group, so a returning Fsync means everything submitted before it is
+// durable.
 func (f *FS) Fsync(env *mk.Env) error {
+	if f.fine() {
+		if err := f.bc.drain(env); err != nil {
+			return err
+		}
+		return f.dev.Flush(env)
+	}
 	f.Lock.Lock(env)
 	defer f.Lock.Unlock(env)
 	return f.dev.Flush(env)
@@ -440,6 +615,46 @@ func (c *Client) WriteAt(env *mk.Env, fd uint64, off int, data []byte) error {
 	}
 	if resp.Status != StatusOK {
 		return fmt.Errorf("fs: write failed")
+	}
+	return nil
+}
+
+// clientBatch is how many page-sized writes fit in one batched crossing:
+// the 4-page shared buffer holds the batch headers plus three ~4 KiB
+// slots (core.BatchLayout rounds each slot to a cache line).
+const clientBatch = 3
+
+// WriteAtBatch issues the writes (fd, offs[i], datas[i]) in submission
+// order, folding up to three per transport crossing when the connection
+// batches (svc.Batcher). Each payload must fit a third of the shared
+// buffer — page- and journal-record-sized writes do; larger writes should
+// go through WriteAt.
+func (c *Client) WriteAtBatch(env *mk.Env, fd uint64, offs []int, datas [][]byte) error {
+	if len(offs) != len(datas) {
+		return fmt.Errorf("fs: write batch: %d offsets, %d buffers", len(offs), len(datas))
+	}
+	for start := 0; start < len(offs); start += clientBatch {
+		end := start + clientBatch
+		if end > len(offs) {
+			end = len(offs)
+		}
+		reqs := make([]svc.Req, end-start)
+		for i := range reqs {
+			reqs[i] = svc.Req{
+				Op:   OpWrite,
+				Args: [3]uint64{fd, uint64(offs[start+i])},
+				Data: datas[start+i],
+			}
+		}
+		resps, err := svc.InvokeBatch(env, c.Conn, reqs)
+		if err != nil {
+			return err
+		}
+		for i, resp := range resps {
+			if resp.Status != StatusOK {
+				return fmt.Errorf("fs: batched write at %d failed", offs[start+i])
+			}
+		}
 	}
 	return nil
 }

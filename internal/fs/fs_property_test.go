@@ -6,7 +6,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"skybridge/internal/blockdev"
+	"skybridge/internal/hw"
 	"skybridge/internal/mk"
+	"skybridge/internal/sim"
+	"skybridge/internal/svc"
 )
 
 // modelFile mirrors one file's expected content.
@@ -15,9 +19,17 @@ type modelFile struct {
 }
 
 // TestFSAgainstModel drives random file-system operations against both the
-// FS and an in-memory model and checks they agree at every step.
+// FS and an in-memory model and checks they agree at every step — under
+// the big lock and under the fine-grained lock replacement, which must be
+// observationally identical to a single client.
 func TestFSAgainstModel(t *testing.T) {
-	fsWorld(t, 2048, func(env *mk.Env, f *FS, c *Client) {
+	for _, lm := range lockModes {
+		t.Run(lm.name, func(t *testing.T) { fsModelRun(t, lm.cfg) })
+	}
+}
+
+func fsModelRun(t *testing.T, cfg Config) {
+	fsWorldCfg(t, 2048, cfg, func(env *mk.Env, f *FS, c *Client) {
 		rng := rand.New(rand.NewSource(2024))
 		model := map[string]*modelFile{}
 		fds := map[string]uint64{}
@@ -106,4 +118,122 @@ func TestFSAgainstModel(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestFSConcurrentClientsFineLock runs several client threads against one
+// fine-locked FS at once — each driving random writes and reads on its
+// own files, all sharing the root directory, allocator, log, and cache
+// shards — and checks every file reads back exactly as its owner's model
+// predicts. The threads interleave at lock and transport park points, so
+// under -race this also exercises the stripe/shard/log lock protocol.
+func TestFSConcurrentClientsFineLock(t *testing.T) {
+	const (
+		blocks  = 4096
+		workers = 4
+		steps   = 40
+	)
+	eng := sim.NewEngine(hw.NewMachine(hw.MachineConfig{Cores: 2, MemBytes: 2 << 30}))
+	k := mk.New(mk.Config{Flavor: mk.SeL4}, eng)
+	p := k.NewProcess("fsworld")
+	dev := blockdev.New(p, blocks)
+	f := NewFS(p, svc.NewLocal(dev.Handler()), Config{Lock: LockFine})
+
+	ready := k.NewKCond("test.ready")
+	readyLk := k.NewKMutex("test.readylk")
+	formatted := false
+
+	for w := 0; w < workers; w++ {
+		w := w
+		c := &Client{Conn: svc.NewLocal(f.Handler())}
+		p.Spawn(fmt.Sprintf("w%d", w), k.Mach.Cores[w%2], func(env *mk.Env) {
+			// Worker 0 formats; the rest wait for the mount.
+			readyLk.Lock(env)
+			if w == 0 {
+				if err := f.Mkfs(env, blocks, 128); err != nil {
+					t.Errorf("mkfs: %v", err)
+					readyLk.Unlock(env)
+					return
+				}
+				formatted = true
+				ready.Broadcast(env)
+			} else {
+				for !formatted {
+					ready.Wait(env, readyLk)
+				}
+			}
+			readyLk.Unlock(env)
+
+			rng := rand.New(rand.NewSource(int64(7000 + w)))
+			names := []string{fmt.Sprintf("w%d-a", w), fmt.Sprintf("w%d-b", w)}
+			model := map[string][]byte{}
+			fds := map[string]uint64{}
+			for _, name := range names {
+				fd, _, err := c.Open(env, name, true)
+				if err != nil {
+					t.Errorf("w%d: open %s: %v", w, name, err)
+					return
+				}
+				fds[name] = fd
+				model[name] = nil
+			}
+			for step := 0; step < steps; step++ {
+				name := names[rng.Intn(len(names))]
+				fd := fds[name]
+				switch rng.Intn(3) {
+				case 0, 1: // write a random extent
+					off := rng.Intn(2 * BlockSize)
+					n := 1 + rng.Intn(BlockSize)
+					data := make([]byte, n)
+					rng.Read(data)
+					if err := c.WriteAt(env, fd, off, data); err != nil {
+						t.Errorf("w%d step %d: write: %v", w, step, err)
+						return
+					}
+					if off+n > len(model[name]) {
+						model[name] = append(model[name], make([]byte, off+n-len(model[name]))...)
+					}
+					copy(model[name][off:], data)
+				case 2: // read back a random extent
+					m := model[name]
+					if len(m) == 0 {
+						continue
+					}
+					off := rng.Intn(len(m))
+					n := 1 + rng.Intn(len(m)-off)
+					got, err := c.ReadAt(env, fd, off, n)
+					if err != nil {
+						t.Errorf("w%d step %d: read: %v", w, step, err)
+						return
+					}
+					if !bytes.Equal(got, m[off:off+n]) {
+						t.Errorf("w%d step %d: %s[%d:%d] mismatch", w, step, name, off, off+n)
+						return
+					}
+				}
+			}
+			if err := c.Fsync(env); err != nil {
+				t.Errorf("w%d: fsync: %v", w, err)
+				return
+			}
+			for _, name := range names {
+				m := model[name]
+				size, err := c.Stat(env, fds[name])
+				if err != nil || int(size) != len(m) {
+					t.Errorf("w%d final %s: size %d, want %d (%v)", w, name, size, len(m), err)
+					return
+				}
+				for off := 0; off < len(m); off += maxIO {
+					n := min(maxIO, len(m)-off)
+					got, err := c.ReadAt(env, fds[name], off, n)
+					if err != nil || !bytes.Equal(got, m[off:off+n]) {
+						t.Errorf("w%d final %s at %d: mismatch (%v)", w, name, off, err)
+						return
+					}
+				}
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -13,14 +13,21 @@ import (
 )
 
 // fsWorld builds a single-process world (Baseline transport) with a
-// formatted file system, and runs body on a thread in it.
+// formatted big-lock file system, and runs body on a thread in it.
 func fsWorld(t *testing.T, blocks int, body func(env *mk.Env, f *FS, c *Client)) {
+	t.Helper()
+	fsWorldCfg(t, blocks, Config{}, body)
+}
+
+// fsWorldCfg is fsWorld with an explicit lock/IO configuration, so the
+// same tests cover the big lock and the fine-grained replacement.
+func fsWorldCfg(t *testing.T, blocks int, cfg Config, body func(env *mk.Env, f *FS, c *Client)) {
 	t.Helper()
 	eng := sim.NewEngine(hw.NewMachine(hw.MachineConfig{Cores: 2, MemBytes: 2 << 30}))
 	k := mk.New(mk.Config{Flavor: mk.SeL4}, eng)
 	p := k.NewProcess("fsworld")
 	dev := blockdev.New(p, blocks)
-	f := New(p, svc.NewLocal(dev.Handler()))
+	f := NewFS(p, svc.NewLocal(dev.Handler()), cfg)
 	c := &Client{Conn: svc.NewLocal(f.Handler())}
 	p.Spawn("main", k.Mach.Cores[0], func(env *mk.Env) {
 		if err := f.Mkfs(env, blocks, 128); err != nil {
@@ -32,6 +39,15 @@ func fsWorld(t *testing.T, blocks int, body func(env *mk.Env, f *FS, c *Client))
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// lockModes enumerates the two FS configurations the shared tests sweep.
+var lockModes = []struct {
+	name string
+	cfg  Config
+}{
+	{"biglock", Config{}},
+	{"finelock", Config{Lock: LockFine}},
 }
 
 func TestMkfsAndMount(t *testing.T) {

@@ -19,7 +19,9 @@ func (f *FS) readInode(env *mk.Env, inum uint64) (dinode, error) {
 	if err != nil {
 		return dinode{}, err
 	}
-	return decodeDinode(b.read(env, off, InodeSize)), nil
+	d := decodeDinode(b.read(env, off, InodeSize))
+	f.bc.put(b)
+	return d, nil
 }
 
 // writeInode stores an inode image (inside a transaction).
@@ -32,10 +34,12 @@ func (f *FS) writeInode(env *mk.Env, inum uint64, d dinode) error {
 	img := make([]byte, InodeSize)
 	d.encode(img)
 	f.bc.write(env, b, off, img)
+	f.bc.put(b)
 	return nil
 }
 
-// allocInode finds a free inode and types it.
+// allocInode finds a free inode and types it. Callers hold the namespace
+// lock, which serializes allocation.
 func (f *FS) allocInode(env *mk.Env, typ uint16) (uint64, error) {
 	for inum := uint64(1); inum < f.sb.NInodes; inum++ {
 		d, err := f.readInode(env, inum)
@@ -53,8 +57,14 @@ func (f *FS) allocInode(env *mk.Env, typ uint16) (uint64, error) {
 	return 0, fmt.Errorf("fs: out of inodes")
 }
 
-// balloc allocates a zeroed data block.
+// balloc allocates a zeroed data block. In fine mode alloclk covers the
+// whole scan: the read-bit→write-bit window crosses park points (shard
+// locks, the log lock), so without it two writers could claim one bit.
 func (f *FS) balloc(env *mk.Env) (int, error) {
+	if f.alloclk != nil {
+		f.alloclk.Lock(env)
+		defer f.alloclk.Unlock(env)
+	}
 	bitsPerBlock := BlockSize * 8
 	for bn := 0; bn < int(f.sb.Size); bn += bitsPerBlock {
 		bmapBlock := int(f.sb.BmapStart) + bn/bitsPerBlock
@@ -70,24 +80,33 @@ func (f *FS) balloc(env *mk.Env) (int, error) {
 				// Zero the block.
 				zb, err := f.bc.get(env, bn+bi)
 				if err != nil {
+					f.bc.put(b)
 					return 0, err
 				}
 				f.bc.write(env, zb, 0, make([]byte, BlockSize))
+				f.bc.put(zb)
+				f.bc.put(b)
 				return bn + bi, nil
 			}
 		}
+		f.bc.put(b)
 	}
 	return 0, fmt.Errorf("fs: out of data blocks")
 }
 
 // bfree releases a data block.
 func (f *FS) bfree(env *mk.Env, bn int) error {
+	if f.alloclk != nil {
+		f.alloclk.Lock(env)
+		defer f.alloclk.Unlock(env)
+	}
 	bitsPerBlock := BlockSize * 8
 	bmapBlock := int(f.sb.BmapStart) + bn/bitsPerBlock
 	b, err := f.bc.get(env, bmapBlock)
 	if err != nil {
 		return err
 	}
+	defer f.bc.put(b)
 	bi := bn % bitsPerBlock
 	byteOff, mask := bi/8, byte(1)<<(bi%8)
 	cur := b.read(env, byteOff, 1)
@@ -99,7 +118,10 @@ func (f *FS) bfree(env *mk.Env, bn int) error {
 }
 
 // indirectLookup reads (or allocates) slot idx in the indirect block at
-// *addr, allocating the indirect block itself if needed.
+// *addr, allocating the indirect block itself if needed. The buffer's
+// reference pins it across the balloc call — which parks on the
+// allocator lock in fine mode — so the slot write below cannot land in a
+// recycled buffer.
 func (f *FS) indirectLookup(env *mk.Env, addr *uint64, idx int, alloc bool) (uint64, bool, error) {
 	dirty := false
 	if *addr == 0 {
@@ -121,6 +143,7 @@ func (f *FS) indirectLookup(env *mk.Env, addr *uint64, idx int, alloc bool) (uin
 	if slot == 0 && alloc {
 		bn, err := f.balloc(env)
 		if err != nil {
+			f.bc.put(b)
 			return 0, false, err
 		}
 		slot = uint64(bn)
@@ -128,6 +151,7 @@ func (f *FS) indirectLookup(env *mk.Env, addr *uint64, idx int, alloc bool) (uin
 		putU64(img, 0, slot)
 		f.bc.write(env, b, 8*idx, img)
 	}
+	f.bc.put(b)
 	return slot, dirty, nil
 }
 
@@ -202,6 +226,7 @@ func (f *FS) readi(env *mk.Env, inum uint64, off, n int) ([]byte, error) {
 				return nil, err
 			}
 			out = append(out, b.read(env, bo, chunk)...)
+			f.bc.put(b)
 		}
 		off += chunk
 		n -= chunk
@@ -235,6 +260,7 @@ func (f *FS) writei(env *mk.Env, inum uint64, off int, data []byte) error {
 			return err
 		}
 		f.bc.write(env, b, bo, data[pos:pos+chunk])
+		f.bc.put(b)
 		pos += chunk
 	}
 	if off+n > int(d.Size) {
@@ -267,9 +293,11 @@ func (f *FS) itrunc(env *mk.Env, inum uint64) error {
 				for i := 0; i < NIndirect; i++ {
 					slot := getU64(b.read(env, 8*i, 8), 0)
 					if err := walk(slot, depth-1); err != nil {
+						f.bc.put(b)
 						return err
 					}
 				}
+				f.bc.put(b)
 			}
 			return f.bfree(env, int(a))
 		}

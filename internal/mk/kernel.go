@@ -307,6 +307,14 @@ func (k *Kernel) switchTo(cpu *hw.CPU, proc *Process) {
 	cpu.Mode = prevMode
 }
 
+// EnsureOn restores proc's address space on cpu if another process's
+// context became resident. SkyBridge uses it when a thread resumes a
+// direct-call chain after parking inside a server handler: threads of
+// other processes may have run on the core meanwhile, and the chain's
+// context process must own CR3 (and, via the context-switch hook, the
+// EPTP list) before the next VMFUNC. No-op when proc is already current.
+func (k *Kernel) EnsureOn(cpu *hw.CPU, proc *Process) { k.switchTo(cpu, proc) }
+
 // kptiEnter/kptiExit charge the Meltdown-mitigation page-table switches.
 func (k *Kernel) kptiEnter(cpu *hw.CPU) {
 	if k.Cfg.KPTI {

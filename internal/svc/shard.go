@@ -50,11 +50,14 @@ func (c *sbConn) InvokeBatch(env *mk.Env, reqs []Req) ([]Resp, error) {
 		return []Resp{resp}, nil
 	}
 	// The layout must match what core.DirectCallBatch derives: slots sized
-	// to the largest request payload.
+	// to the largest request payload or declared reply capacity.
 	maxLen := 0
 	for i := range reqs {
 		if len(reqs[i].Data) > maxLen {
 			maxLen = len(reqs[i].Data)
+		}
+		if reqs[i].RespCap > maxLen {
+			maxLen = reqs[i].RespCap
 		}
 	}
 	layout, err := c.conn.Layout(len(reqs), maxLen)
@@ -64,6 +67,7 @@ func (c *sbConn) InvokeBatch(env *mk.Env, reqs []Req) ([]Resp, error) {
 	dreqs := make([]core.Request, len(reqs))
 	for i, req := range reqs {
 		dreqs[i].Regs = [4]uint64{req.Op, req.Args[0], req.Args[1], req.Args[2]}
+		dreqs[i].Cap = req.RespCap
 		if len(req.Data) > 0 {
 			if len(req.Data) > layout.SlotLen {
 				return nil, fmt.Errorf("svc: batch payload %d exceeds slot %d", len(req.Data), layout.SlotLen)

@@ -28,6 +28,10 @@ type Req struct {
 	Op   uint64
 	Args [3]uint64
 	Data []byte
+	// RespCap, when non-zero, declares the largest reply payload the caller
+	// expects. Batching transports size their per-request ring slots from
+	// max(len(Data), RespCap); single-shot transports ignore it.
+	RespCap int
 }
 
 // Resp is a service response: a status, three scalar results, and an

@@ -33,6 +33,9 @@ type Workload struct {
 	// Zipfian selects the standard YCSB zipfian request distribution;
 	// false means uniform.
 	Zipfian bool
+	// MaxScanLen bounds the length of a SCAN (workload E); the generator
+	// draws uniformly from [1, MaxScanLen].
+	MaxScanLen int
 }
 
 // WorkloadA is the update-heavy workload the paper reports: 50% reads,
@@ -71,11 +74,25 @@ func WorkloadC(records int) Workload {
 	}
 }
 
+// WorkloadE is short-range-scan heavy: 95% scans, 5% inserts.
+func WorkloadE(records int) Workload {
+	return Workload{
+		Name:        "YCSB-E",
+		RecordCount: records,
+		FieldLength: 100,
+		ScanProp:    0.95,
+		InsertProp:  0.05,
+		Zipfian:     true,
+		MaxScanLen:  100,
+	}
+}
+
 // Op is one generated operation.
 type Op struct {
-	Kind  OpKind
-	Key   int64
-	Value string
+	Kind    OpKind
+	Key     int64
+	Value   string
+	ScanLen int // rows to read, OpScan only
 }
 
 // Generator produces a deterministic operation stream for one client.
@@ -125,7 +142,11 @@ func (g *Generator) Next() Op {
 		g.seq++
 		return Op{Kind: OpInsert, Key: g.seq, Value: g.value()}
 	default:
-		return Op{Kind: OpScan, Key: g.key()}
+		n := 1
+		if g.w.MaxScanLen > 1 {
+			n = 1 + g.rng.Intn(g.w.MaxScanLen)
+		}
+		return Op{Kind: OpScan, Key: g.key(), ScanLen: n}
 	}
 }
 
