@@ -9,14 +9,14 @@
 //	skybench -run table2 -trace trace.json -metrics metrics.json
 //
 // Experiments: table1 table2 table4 table5 table6 fig2 fig7 fig8 fig9
-// fig10 fig11 ablations scaling async dbscale (-list prints them).
-// Paper-scale knobs: -records, -ops, -kvops, -clients, -scale.
+// fig10 fig11 ablations scaling async dbscale tenants (-list prints
+// them). Paper-scale knobs: -records, -ops, -kvops, -clients, -scale,
+// -tenants.
 //
 // -benchout <kind>=<path> runs a standalone benchmark and writes its JSON
 // document: host (suite wall-clock timings), scaling (multicore sweep),
 // async (ring queue-depth sweep), db (SQLite/FS lock-and-fast-path
-// sweep). Repeatable; -hostbench and -scalingbench remain as deprecated
-// aliases (each warns once per process).
+// sweep), tenants (multi-tenant frontend sweep). Repeatable.
 //
 // Host-side accelerators: -hostcache on|off gates the walk-memo and
 // decode caches, -superblock on|off gates superblock direct-threaded
@@ -106,6 +106,7 @@ func main() {
 		opsKind = flag.Int("opskind", 40, "SQLite ops per kind per client (Table 4)")
 		preload = flag.Int("preload", 200, "SQLite preloaded rows per client (Table 4)")
 		scale   = flag.Int("scale", 8, "Table 6 corpus scale divisor (1 = paper scale)")
+		tenants = flag.Int("tenants", 1024, "multi-tenant sweep population ceiling (clips the 64/256/1024 ladder)")
 
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON to this file")
 		metricsOut = flag.String("metrics", "", "write machine-readable experiment records (JSON) to this file")
@@ -115,32 +116,13 @@ func main() {
 		hostCache  = flag.String("hostcache", "on", "host-side walk-memo and decode caches: on|off (simulated results are identical either way)")
 		superblock = flag.String("superblock", "on", "superblock direct-threaded execution and block-granular cache charging: on|off (simulated results are identical either way)")
 
-		hostBench    = flag.String("hostbench", "", "deprecated: alias for -benchout host=<path>")
-		scalingBench = flag.String("scalingbench", "", "deprecated: alias for -benchout scaling=<path>")
-
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	benchOuts := map[string]string{}
-	flag.Func("benchout", "run a standalone benchmark and write its JSON: <kind>=<path>, kind one of host|scaling|async|db (repeatable)",
+	flag.Func("benchout", "run a standalone benchmark and write its JSON: <kind>=<path>, kind one of host|scaling|async|db|tenants (repeatable)",
 		func(v string) error { return parseBenchOut(benchOuts, v) })
 	flag.Parse()
-
-	// Deprecated aliases fold into the -benchout map (explicit -benchout
-	// wins on conflict), each warning exactly once per process here at
-	// parse time — never per experiment unit.
-	if *hostBench != "" {
-		fmt.Fprintln(os.Stderr, "skybench: warning: -hostbench is deprecated, use -benchout host=<path>")
-		if _, ok := benchOuts["host"]; !ok {
-			benchOuts["host"] = *hostBench
-		}
-	}
-	if *scalingBench != "" {
-		fmt.Fprintln(os.Stderr, "skybench: warning: -scalingbench is deprecated, use -benchout scaling=<path>")
-		if _, ok := benchOuts["scaling"]; !ok {
-			benchOuts["scaling"] = *scalingBench
-		}
-	}
 
 	if *list {
 		for _, n := range experimentNames {
@@ -208,7 +190,7 @@ func main() {
 	opts := bench.Options{
 		Records: *records, Ops: *ops, KVOps: *kvops,
 		Clients: *clients, OpsPerKind: *opsKind, Preload: *preload,
-		Scale: *scale,
+		Scale: *scale, Tenants: *tenants,
 	}
 
 	if len(benchOuts) > 0 {
@@ -263,9 +245,9 @@ func parseBenchOut(outs map[string]string, v string) error {
 	}
 	kind = strings.ToLower(strings.TrimSpace(kind))
 	switch kind {
-	case "host", "scaling", "async", "db":
+	case "host", "scaling", "async", "db", "tenants":
 	default:
-		return fmt.Errorf("unknown benchmark kind %q (host, scaling, async, db)", kind)
+		return fmt.Errorf("unknown benchmark kind %q (host, scaling, async, db, tenants)", kind)
 	}
 	if prev, dup := outs[kind]; dup {
 		return fmt.Errorf("duplicate -benchout kind %q (already writing %s)", kind, prev)
@@ -275,7 +257,8 @@ func parseBenchOut(outs map[string]string, v string) error {
 }
 
 // runBenchOuts runs the requested standalone benchmarks in a fixed order
-// (host, scaling, async, db) and writes each result where -benchout asked.
+// (host, scaling, async, db, tenants) and writes each result where
+// -benchout asked.
 func runBenchOuts(outs map[string]string, sel map[string]bool, opts bench.Options, jobs int) error {
 	if path, ok := outs["host"]; ok {
 		if err := runHostBench(path, sel, opts, jobs); err != nil {
@@ -309,6 +292,16 @@ func runBenchOuts(outs map[string]string, sel map[string]bool, opts bench.Option
 		}
 		fmt.Print(r.Render())
 		if err := writeFile(path, func(w io.Writer) error { return bench.WriteDBBench(w, r) }); err != nil {
+			return err
+		}
+	}
+	if path, ok := outs["tenants"]; ok {
+		r, err := bench.Tenants(bench.TenantsConfig{MaxTenants: opts.Tenants})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		if err := writeFile(path, func(w io.Writer) error { return bench.WriteTenantsBench(w, r) }); err != nil {
 			return err
 		}
 	}

@@ -12,7 +12,7 @@ func TestExperimentNamesIncludeScaling(t *testing.T) {
 		}
 		found[n] = true
 	}
-	for _, want := range []string{"table2", "fig8", "fig9", "scaling"} {
+	for _, want := range []string{"table2", "fig8", "fig9", "scaling", "tenants"} {
 		if !found[want] {
 			t.Errorf("experiment %q missing from -list output", want)
 		}
@@ -69,15 +69,15 @@ func TestSelectExperimentsAllPlusUnknown(t *testing.T) {
 
 func TestParseBenchOut(t *testing.T) {
 	outs := map[string]string{}
-	for _, v := range []string{"host=a.json", "Scaling=b.json", "async=c.json", "db=d.json"} {
+	for _, v := range []string{"host=a.json", "Scaling=b.json", "async=c.json", "db=d.json", "tenants=e.json"} {
 		if err := parseBenchOut(outs, v); err != nil {
 			t.Fatalf("parseBenchOut(%q): %v", v, err)
 		}
 	}
-	if outs["host"] != "a.json" || outs["scaling"] != "b.json" || outs["async"] != "c.json" || outs["db"] != "d.json" {
+	if outs["host"] != "a.json" || outs["scaling"] != "b.json" || outs["async"] != "c.json" || outs["db"] != "d.json" || outs["tenants"] != "e.json" {
 		t.Errorf("outs = %v", outs)
 	}
-	for _, bad := range []string{"host=", "host", "=x.json", "fig7=x.json", "async=dup.json"} {
+	for _, bad := range []string{"host=", "host", "=x.json", "fig7=x.json", "async=dup.json", "hostbench=x.json"} {
 		if err := parseBenchOut(outs, bad); err == nil {
 			t.Errorf("parseBenchOut(%q) accepted; want error", bad)
 		}

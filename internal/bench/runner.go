@@ -19,6 +19,7 @@ type Options struct {
 	OpsPerKind int // SQLite ops per kind per client (Table 4)
 	Preload    int // SQLite preloaded rows per client (Table 4)
 	Scale      int // Table 6 corpus scale divisor
+	Tenants    int // multi-tenant sweep population ceiling
 }
 
 // Experiment is one independently runnable unit of the evaluation: it
@@ -118,6 +119,13 @@ func Catalog() []Experiment {
 		}},
 		Experiment{Name: "dbscale", Label: "dbscale", Run: func(s *Session, o Options) (string, error) {
 			r, err := s.DBScale(DBScaleConfig{Records: o.Records / 4, OpsPerClient: o.Ops})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		Experiment{Name: "tenants", Label: "tenants", Run: func(s *Session, o Options) (string, error) {
+			r, err := s.Tenants(TenantsConfig{MaxTenants: o.Tenants})
 			if err != nil {
 				return "", err
 			}

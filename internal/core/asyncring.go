@@ -74,6 +74,14 @@ const (
 // sequence tag outside its slot). No handler status uses this value.
 const RingStatusBadEntry = ^uint64(0)
 
+// RingStatusBadTenant is echoed in Regs[0] of a completion whose
+// submission entry carried a tenant tag different from the tenant the
+// ring was issued to (a forged tenant ID — the tag is client-writable
+// ring memory, but the binding checked here is server-side state set at
+// ring-open time, which the client cannot touch). No handler runs and no
+// other tenant's slots are read or written.
+const RingStatusBadTenant = ^uint64(1)
+
 // Async-ring errors.
 var (
 	ErrRingFull    = errors.New("core: submission ring full")
@@ -90,19 +98,28 @@ type Completion struct {
 	Data []byte
 }
 
+// ringSink is the drain side a ring belongs to: the registered server
+// whose handler runs, the parker its doorbell kicks, and the served/bad
+// counters. Both RingServer (one flat poll loop) and Frontend (the
+// multi-tenant directory drain, mpsc.go) embed one, so a ring never needs
+// to know which kind of loop drains it.
+type ringSink struct {
+	srv    *Server
+	parker mk.Parker
+
+	// Served counts completions written; Bad counts submissions rejected
+	// by the server-side bounds check (or the tenant-tag check).
+	Served uint64
+	Bad    uint64
+}
+
 // RingServer is the server half of the asynchronous path: one poll
 // thread (Serve) draining every ring attached to one registered server.
 type RingServer struct {
-	srv    *Server
+	ringSink
 	rings  []*AsyncRing
-	parker mk.Parker
 	pol    mk.WakePolicy
 	closed bool
-
-	// Served counts completions written; Bad counts submissions rejected
-	// by the server-side bounds check.
-	Served uint64
-	Bad    uint64
 }
 
 // NewRingServer attaches an asynchronous poll loop to a registered
@@ -116,7 +133,7 @@ func (sb *SkyBridge) NewRingServer(serverID int, pol mk.WakePolicy) (*RingServer
 	if sb.ringServers[serverID] != nil {
 		return nil, fmt.Errorf("core: server %d already has a ring server", serverID)
 	}
-	rs := &RingServer{srv: srv, pol: pol}
+	rs := &RingServer{ringSink: ringSink{srv: srv}, pol: pol}
 	sb.ringServers[serverID] = rs
 	return rs, nil
 }
@@ -126,7 +143,7 @@ func (sb *SkyBridge) NewRingServer(serverID int, pol mk.WakePolicy) (*RingServer
 type AsyncRing struct {
 	sb       *SkyBridge
 	conn     *Connection
-	rs       *RingServer
+	sink     *ringSink
 	serverID int
 
 	QD      int
@@ -135,6 +152,23 @@ type AsyncRing struct {
 	sqeBase int
 	cqeBase int
 	payBase int
+
+	// Tenant binding (frontend rings only): tagged rings carry the tenant
+	// ID in every submission entry, and the drain rejects entries whose
+	// tag differs from the server-side binding (RingStatusBadTenant).
+	tagged bool
+	tenant uint32
+	// handler, when non-nil, overrides the server's registered handler
+	// for this ring (the frontend binds the authenticated tenant here).
+	handler Handler
+
+	// Directory binding (frontend rings only): the client's view of the
+	// frontend's ring-of-rings directory page. Flush sets this ring's
+	// active bit and reads the server-sleeping flag instead of the
+	// per-ring needDoorbell word (mpsc.go).
+	dirVA   hw.VA
+	dirWord int
+	dirMask uint64
 
 	// Client cursors (free-running): subSeq counts submissions, reapSeq
 	// reaped completions, lastCQ the last validated cqTail observation.
@@ -147,6 +181,11 @@ type AsyncRing struct {
 
 	pol       mk.WakePolicy
 	cliParker mk.Parker
+
+	// callObs, when non-nil, overrides sb.Calls as this ring's
+	// attribution sink (SetObserver) — the tenants sweep splits hot and
+	// cold tenant classes into separate breakdowns this way.
+	callObs *obs.CallObserver
 
 	depth     *obs.Histogram
 	occupancy obs.Gauge
@@ -190,6 +229,28 @@ func (sb *SkyBridge) OpenRing(env *mk.Env, serverID, qd, payloadCap int, pol mk.
 	if rs == nil {
 		return nil, fmt.Errorf("core: server %d has no ring server", serverID)
 	}
+	r, err := sb.newRing(conn, &rs.ringSink, serverID, qd, payloadCap, pol)
+	if err != nil {
+		return nil, err
+	}
+	var zero [8]byte
+	for _, off := range []int{ctlSQTail, ctlCQTail, ctlClientWait} {
+		env.Write(conn.ClientBuf+hw.VA(off), zero[:], 8)
+	}
+	// A new ring starts with its doorbell armed: the poll thread may have
+	// parked before this ring existed (its arm pass could not flag it), so
+	// the first Flush must take the crossing unconditionally. The server's
+	// next disarm clears it.
+	writeCtl(env, conn.ClientBuf, ctlNeedDoorbell, 1)
+	rs.rings = append(rs.rings, r)
+	return r, nil
+}
+
+// newRing validates parameters, computes the ring layout over conn's
+// shared buffer, and constructs the client handle bound to sink. An
+// overflowing layout reports the computed bases, not just the inputs —
+// sizing failures at high tenant counts are otherwise undiagnosable.
+func (sb *SkyBridge) newRing(conn *Connection, sink *ringSink, serverID, qd, payloadCap int, pol mk.WakePolicy) (*AsyncRing, error) {
 	if qd < 1 || qd > MaxQD {
 		return nil, fmt.Errorf("core: ring depth %d (max %d)", qd, MaxQD)
 	}
@@ -209,63 +270,90 @@ func (sb *SkyBridge) OpenRing(env *mk.Env, serverID, qd, payloadCap int, pol mk.
 	sqeBase := ringCtlBytes
 	cqeBase := alignLine(sqeBase + qd*ringEntryLen)
 	payBase := alignLine(cqeBase + qd*ringEntryLen)
-	if payBase+qd*slot > conn.BufLen {
-		return nil, fmt.Errorf("core: shared buffer %d too small for ring of %d x %d-byte slots",
-			conn.BufLen, qd, slot)
+	if end := payBase + qd*slot; end > conn.BufLen {
+		return nil, fmt.Errorf("core: ring layout overflows shared buffer: "+
+			"qd %d x %d-byte slots need %d bytes (sqes at %d, cqes at %d, payload at %d) but the buffer holds %d",
+			qd, slot, end, sqeBase, cqeBase, payBase, conn.BufLen)
 	}
 	sb.ringSeq++
 	r := &AsyncRing{
-		sb: sb, conn: conn, rs: rs, serverID: serverID,
+		sb: sb, conn: conn, sink: sink, serverID: serverID,
 		QD: qd, SlotLen: slot,
 		sqeBase: sqeBase, cqeBase: cqeBase, payBase: payBase,
 		pol:    pol,
 		ringID: sb.ringSeq,
 	}
 	if sb.Calls != nil {
-		r.subT = make([]uint64, qd)
-		r.pubT = make([]uint64, qd)
-		r.flushT = make([]uint64, qd)
-		r.svcS = make([]uint64, qd)
-		r.svcE = make([]uint64, qd)
-		r.svcSeq = make([]uint32, qd)
-		for i := range r.svcSeq {
-			r.svcSeq[i] = ^uint32(0) // no sequence served into this slot yet
-		}
+		r.allocStamps()
 	}
 	name := fmt.Sprintf("async.%s.s%d", conn.Client.Name, serverID)
 	r.depth = sb.K.Mach.Obs.Histogram(name + ".depth")
 	r.occupancy = sb.K.Mach.Obs.Gauge(name + ".occupancy")
-	var zero [8]byte
-	for _, off := range []int{ctlSQTail, ctlCQTail, ctlClientWait} {
-		env.Write(conn.ClientBuf+hw.VA(off), zero[:], 8)
-	}
-	// A new ring starts with its doorbell armed: the poll thread may have
-	// parked before this ring existed (its arm pass could not flag it), so
-	// the first Flush must take the crossing unconditionally. The server's
-	// next disarm clears it.
-	writeCtl(env, conn.ClientBuf, ctlNeedDoorbell, 1)
-	rs.rings = append(rs.rings, r)
 	return r, nil
 }
 
-// encodeRingEntry packs an entry: regs, payload length, sequence tag.
-func encodeRingEntry(regs [4]uint64, plen int, seq uint32) []byte {
+// allocStamps lazily allocates the host-side per-slot attribution stamps.
+func (r *AsyncRing) allocStamps() {
+	if r.subT != nil {
+		return
+	}
+	qd := r.QD
+	r.subT = make([]uint64, qd)
+	r.pubT = make([]uint64, qd)
+	r.flushT = make([]uint64, qd)
+	r.svcS = make([]uint64, qd)
+	r.svcE = make([]uint64, qd)
+	r.svcSeq = make([]uint32, qd)
+	for i := range r.svcSeq {
+		r.svcSeq[i] = ^uint32(0) // no sequence served into this slot yet
+	}
+}
+
+// SetObserver redirects this ring's phase-attribution records to o
+// instead of the facility-wide sb.Calls sink (nil restores the default).
+// Benches use it to split tenant classes into separate breakdowns.
+func (r *AsyncRing) SetObserver(o *obs.CallObserver) {
+	r.callObs = o
+	if o != nil {
+		r.allocStamps()
+	}
+}
+
+// observer returns the ring's attribution sink: the per-ring override
+// when set, else the facility-wide one.
+func (r *AsyncRing) observer() *obs.CallObserver {
+	if r.callObs != nil {
+		return r.callObs
+	}
+	return r.sb.Calls
+}
+
+// Tenant returns the ring's bound tenant ID (frontend rings; 0, false
+// for plain rings).
+func (r *AsyncRing) Tenant() (int, bool) { return int(r.tenant), r.tagged }
+
+// encodeRingEntry packs an entry: regs, payload length, sequence tag, and
+// the tenant tag (bytes 40:44 of the former padding; zero on untagged
+// rings).
+func encodeRingEntry(regs [4]uint64, plen int, seq, tenant uint32) []byte {
 	b := make([]byte, ringEntryLen)
 	for i, r := range regs {
 		binary.LittleEndian.PutUint64(b[8*i:], r)
 	}
 	binary.LittleEndian.PutUint32(b[32:], uint32(plen))
 	binary.LittleEndian.PutUint32(b[36:], seq)
+	binary.LittleEndian.PutUint32(b[40:], tenant)
 	return b
 }
 
 // decodeRingEntry unpacks an entry. The length converts through int32 so
 // garbage in the high bit surfaces as a negative (rejectable) length.
-func decodeRingEntry(b []byte) (regs [4]uint64, plen int, seq uint32) {
+func decodeRingEntry(b []byte) (regs [4]uint64, plen int, seq, tenant uint32) {
 	for i := range regs {
 		regs[i] = binary.LittleEndian.Uint64(b[8*i:])
 	}
-	return regs, int(int32(binary.LittleEndian.Uint32(b[32:]))), binary.LittleEndian.Uint32(b[36:])
+	return regs, int(int32(binary.LittleEndian.Uint32(b[32:]))),
+		binary.LittleEndian.Uint32(b[36:]), binary.LittleEndian.Uint32(b[40:])
 }
 
 // readCtl/writeCtl access one control word with a charged 8-byte memory
@@ -327,7 +415,7 @@ func (r *AsyncRing) Submit(env *mk.Env, req Request) error {
 		env.Write(slotVA, data, req.Len)
 	}
 	env.Write(r.conn.ClientBuf+hw.VA(r.sqeBase+idx*ringEntryLen),
-		encodeRingEntry(req.Regs, req.Len, r.subSeq), ringEntryLen)
+		encodeRingEntry(req.Regs, req.Len, r.subSeq, r.tenant), ringEntryLen)
 	r.subSeq++
 	writeCtl(env, r.conn.ClientBuf, ctlSQTail, r.subSeq)
 	r.Submitted++
@@ -352,6 +440,11 @@ func (r *AsyncRing) Submit(env *mk.Env, req Request) error {
 // against the server's arm -> re-check -> park sequence), so a sleeping
 // server is always either doorbelled or about to see the tail itself.
 func (r *AsyncRing) Flush(env *mk.Env) error {
+	if r.dirVA != 0 {
+		// Frontend ring: publish through the directory (set the active
+		// bit, doorbell only if the drain loop declared itself asleep).
+		return r.flushDir(env)
+	}
 	if readCtl(env, r.conn.ClientBuf, ctlNeedDoorbell) == 0 {
 		r.DoorbellsSkipped++
 		r.sb.RingDoorbellsSkipped++
@@ -381,7 +474,7 @@ func (r *AsyncRing) DoorbellWithKey(env *mk.Env, key uint64) error {
 // structure mirrors call(): the crossing itself is a full DirectCall
 // round trip minus the handler.
 func (r *AsyncRing) doorbell(env *mk.Env, forcedKey uint64, useForced bool) error {
-	sb, conn, srv := r.sb, r.conn, r.rs.srv
+	sb, conn, srv := r.sb, r.conn, r.sink.srv
 	cpu := env.T.Core
 	env.T.Checkpoint()
 	env.Enter()
@@ -450,7 +543,7 @@ func (r *AsyncRing) doorbell(env *mk.Env, forcedKey uint64, useForced bool) erro
 	// Hand over the ring tail (read back through the server's view) and
 	// kick the parked poll thread awake.
 	_ = readCtl(senv, conn.ServerBuf, ctlSQTail)
-	sb.K.WakeParker(cpu, &r.rs.parker)
+	sb.K.WakeParker(cpu, &r.sink.parker)
 
 	// --- return thunk ---
 	if err := cpu.TouchCode(trampReturnVA, trampReturnLen); err != nil {
@@ -549,7 +642,7 @@ func (r *AsyncRing) Reap(env *mk.Env, minN int) ([]Completion, error) {
 	for ; r.reapSeq != r.lastCQ; r.reapSeq++ {
 		idx := int(r.reapSeq % uint32(r.QD))
 		env.Read(r.conn.ClientBuf+hw.VA(r.cqeBase+idx*ringEntryLen), hdr, ringEntryLen)
-		regs, plen, seq := decodeRingEntry(hdr)
+		regs, plen, seq, _ := decodeRingEntry(hdr)
 		if seq != r.reapSeq {
 			return nil, fmt.Errorf("%w: completion %d carries sequence tag %d",
 				ErrRingCorrupt, r.reapSeq, seq)
@@ -570,7 +663,7 @@ func (r *AsyncRing) Reap(env *mk.Env, minN int) ([]Completion, error) {
 		r.Reaped++
 	}
 	r.occupancy.Set(uint64(r.Inflight()))
-	if o := r.sb.Calls; o != nil && r.subT != nil {
+	if o := r.observer(); o != nil && r.subT != nil {
 		r.observeReaped(env.T.Core.Clock, out, totSpin, totDelivery, wake, o)
 	}
 	return out, nil
@@ -696,50 +789,77 @@ func (rs *RingServer) Close(env *mk.Env) {
 	env.K.CloseParker(env.T.Core, &rs.parker)
 }
 
-// serveDrain dispatches every pending submission of one ring: charged
-// entry read, per-entry bounds validation (a client rewriting entries
-// after submission must still confine its payload to its slot), handler
-// dispatch, completion write. The completion tail publishes once per
-// drain, after which a parked reaper is kicked (cqTail write precedes the
-// clientWait flag read — the Dekker pairing of Reap's arm sequence).
+// serveDrain dispatches every pending submission of one ring (the flat
+// RingServer loop has no per-ring quantum).
 func (r *AsyncRing) serveDrain(env *mk.Env) (int, error) {
+	n, _, err := r.serveDrainMax(env, r.QD)
+	return n, err
+}
+
+// serveDrainMax dispatches up to max pending submissions of one ring:
+// charged entry read, per-entry bounds validation (a client rewriting
+// entries after submission must still confine its payload to its slot),
+// tenant-tag validation on tagged rings, handler dispatch, completion
+// write. The completion tail publishes once per drain, after which a
+// parked reaper is kicked (cqTail write precedes the clientWait flag
+// read — the Dekker pairing of Reap's arm sequence). It returns the
+// count served and whether submissions remain past the quantum (the
+// deficit-round-robin drain leaves the tenant's directory bit set then).
+func (r *AsyncRing) serveDrainMax(env *mk.Env, max int) (int, bool, error) {
 	cpu := env.T.Core
-	srv := r.rs.srv
+	srv := r.sink.srv
 	tail := readCtl(env, r.conn.ServerBuf, ctlSQTail)
 	if d := tail - r.srvSeq; d > uint32(r.QD) {
 		// A malicious client advanced the tail beyond its own ring; clamp
 		// to the window instead of chasing a fabricated cursor.
 		tail = r.srvSeq + uint32(r.QD)
 	}
+	stop := tail
+	if pending := int(tail - r.srvSeq); pending > max {
+		stop = r.srvSeq + uint32(max)
+	}
 	n := 0
 	tr := cpu.Trace
 	hdr := make([]byte, ringEntryLen)
-	for ; r.srvSeq != tail; r.srvSeq++ {
+	for ; r.srvSeq != stop; r.srvSeq++ {
 		cpu.Tick(costRingDispatch)
 		if tr != nil {
 			tr.FlowStep(cpu.Clock, r.flowID(r.srvSeq), "flow.drain", "flow")
 		}
 		idx := int(r.srvSeq % uint32(r.QD))
 		env.Read(r.conn.ServerBuf+hw.VA(r.sqeBase+idx*ringEntryLen), hdr, ringEntryLen)
-		regs, plen, seq := decodeRingEntry(hdr)
+		regs, plen, seq, tenant := decodeRingEntry(hdr)
 		if r.svcSeq != nil {
 			r.svcS[idx] = cpu.Clock
 			r.svcSeq[idx] = r.srvSeq
 		}
 		var out Response
-		if seq != r.srvSeq || plen < 0 || plen > r.SlotLen {
+		switch {
+		case seq != r.srvSeq || plen < 0 || plen > r.SlotLen:
 			srv.Rejected++
-			r.rs.Bad++
+			r.sink.Bad++
 			out = Response{Regs: [4]uint64{RingStatusBadEntry}}
-		} else {
+		case r.tagged && tenant != r.tenant:
+			// Forged tenant ID: the entry claims an identity other than
+			// the one this ring was issued to. Reject without running the
+			// handler — the request never acts under the forged tenant,
+			// and no other tenant's ring or slots are touched.
+			srv.Rejected++
+			r.sink.Bad++
+			out = Response{Regs: [4]uint64{RingStatusBadTenant}}
+		default:
 			srv.Calls++
-			out = srv.Handler(env, Request{
+			h := srv.Handler
+			if r.handler != nil {
+				h = r.handler
+			}
+			out = h(env, Request{
 				Regs:      regs,
 				Len:       plen,
 				SharedBuf: r.conn.ServerBuf + hw.VA(r.payBase+idx*r.SlotLen),
 			})
 			if out.Len < 0 || out.Len > r.SlotLen {
-				return n, fmt.Errorf("core: ring reply %d length %d exceeds slot %d",
+				return n, false, fmt.Errorf("core: ring reply %d length %d exceeds slot %d",
 					r.srvSeq, out.Len, r.SlotLen)
 			}
 		}
@@ -750,8 +870,8 @@ func (r *AsyncRing) serveDrain(env *mk.Env) (int, error) {
 			tr.FlowStep(cpu.Clock, r.flowID(r.srvSeq), "flow.service", "flow")
 		}
 		env.Write(r.conn.ServerBuf+hw.VA(r.cqeBase+idx*ringEntryLen),
-			encodeRingEntry(out.Regs, out.Len, r.srvSeq), ringEntryLen)
-		r.rs.Served++
+			encodeRingEntry(out.Regs, out.Len, r.srvSeq, r.tenant), ringEntryLen)
+		r.sink.Served++
 		n++
 	}
 	if n > 0 {
@@ -759,7 +879,7 @@ func (r *AsyncRing) serveDrain(env *mk.Env) (int, error) {
 		// The poll loop is demonstrably awake: clear a doorbell flag left
 		// over from OpenRing (or a spurious arm) so flushes go back to the
 		// crossing-free path.
-		if readCtl(env, r.conn.ServerBuf, ctlNeedDoorbell) != 0 {
+		if r.dirVA == 0 && readCtl(env, r.conn.ServerBuf, ctlNeedDoorbell) != 0 {
 			writeCtl(env, r.conn.ServerBuf, ctlNeedDoorbell, 0)
 		}
 		r.sb.RingOps += uint64(n)
@@ -768,5 +888,5 @@ func (r *AsyncRing) serveDrain(env *mk.Env) (int, error) {
 			env.K.WakeParker(cpu, &r.cliParker)
 		}
 	}
-	return n, nil
+	return n, r.srvSeq != tail, nil
 }

@@ -268,7 +268,7 @@ func TestAsyncRingCompletionBeforeSubmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	server.Spawn("evil2", k.Mach.Cores[1], func(env *mk.Env) {
-		env.Write(conn.ServerBuf+hw.VA(ring.cqeBase), encodeRingEntry([4]uint64{2}, 0, 0), ringEntryLen)
+		env.Write(conn.ServerBuf+hw.VA(ring.cqeBase), encodeRingEntry([4]uint64{2}, 0, 0, 0), ringEntryLen)
 		writeCtl(env, conn.ServerBuf, ctlCQTail, 1)
 	})
 	client.Spawn("cli4", k.Mach.Cores[0], func(env *mk.Env) {
@@ -304,13 +304,13 @@ func TestAsyncRingMaliciousCompletionEntries(t *testing.T) {
 		{"bad-seq", func(env *mk.Env, conn *Connection, r *AsyncRing) {
 			// Completion 0 claims to be completion 7: accepting it would
 			// make the client read slot 7 % QD instead of its own.
-			env.Write(conn.ServerBuf+hw.VA(r.cqeBase), encodeRingEntry([4]uint64{1}, 4, 7), ringEntryLen)
+			env.Write(conn.ServerBuf+hw.VA(r.cqeBase), encodeRingEntry([4]uint64{1}, 4, 7, 0), ringEntryLen)
 			writeCtl(env, conn.ServerBuf, ctlCQTail, 1)
 		}},
 		{"bad-len", func(env *mk.Env, conn *Connection, r *AsyncRing) {
 			// Length far beyond the slot: accepting it would read past the
 			// slot (and, for big values, past the shared buffer).
-			env.Write(conn.ServerBuf+hw.VA(r.cqeBase), encodeRingEntry([4]uint64{1}, r.SlotLen+1, 0), ringEntryLen)
+			env.Write(conn.ServerBuf+hw.VA(r.cqeBase), encodeRingEntry([4]uint64{1}, r.SlotLen+1, 0, 0), ringEntryLen)
 			writeCtl(env, conn.ServerBuf, ctlCQTail, 1)
 		}},
 	} {
@@ -390,7 +390,7 @@ func TestAsyncRingMaliciousSubmissionRejected(t *testing.T) {
 			return
 		}
 		env.Write(r.conn.ClientBuf+hw.VA(r.sqeBase),
-			encodeRingEntry([4]uint64{7}, r.conn.BufLen, 0), ringEntryLen)
+			encodeRingEntry([4]uint64{7}, r.conn.BufLen, 0, 0), ringEntryLen)
 		if err := r.Flush(env); err != nil {
 			t.Errorf("flush: %v", err)
 			return

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+)
+
+// Multi-tenant frontend: one server core draining the per-tenant SPSC
+// rings of N mutually-distrusting tenants through a ring-of-rings
+// directory. The per-pair AsyncRing (asyncring.go) is the paper's
+// two-party shape; a serving frontend needs one poll thread to multiplex
+// hundreds or thousands of clients without paying an O(N) tail scan per
+// sweep, and without letting one hot tenant starve the rest.
+//
+// The directory is a small shared region mapped into the server and every
+// tenant:
+//
+//	0    epoch          (u64, server-stamped once per drain sweep)
+//	64   serverSleeping (u64, server arms before parking)
+//	128  active-tenant bitmap (u64 words; bit t = tenant t has work)
+//
+// A tenant's Flush sets its own bit (one read-modify-write of its word)
+// and reads the single serverSleeping flag: if the drain loop declared
+// itself asleep, Flush takes the one doorbell crossing — key-checked
+// through the tenant's own connection, exactly like a plain ring — and
+// kicks the frontend's parker; otherwise the shared-memory writes alone
+// make the work visible and nothing crosses. The drain loop's spin probe
+// reads only the bitmap words — O(N/64), not O(N) — and visits exactly
+// the set bits.
+//
+// The bitmap is a performance hint, never a correctness gate: a tenant
+// could set a stale bit (the sweep finds an empty ring and clears it) or
+// clear bits it does not own (its directory mapping is writable). Two
+// mechanisms bound the damage of a malicious clear: before parking, the
+// arm sequence re-scans every ring's submission tail directly (the
+// Dekker re-check, O(N) but paid only on the sleep edge), and every
+// FullSweepEvery busy sweeps the loop rescans all tails and repairs the
+// bits. A cleared bit therefore delays a tenant by at most a bounded
+// number of sweeps, and never loses its work.
+//
+// Fairness: admission is credit-based (a tenant's ring depth is its
+// in-flight credit), and the drain is deficit round robin — each sweep a
+// visited tenant's deficit grows by the quantum and it may dispatch at
+// most its deficit, so a zipfian-hot tenant at full credit cannot starve
+// cold tenants (their p99 stays within a constant factor of the uniform
+// case; see TestFrontendDRRFairness).
+//
+// Isolation parity with the rest of SkyBridge: every tenant has its own
+// calling key (checked on every doorbell crossing), its own EPTP
+// registration, its own ring over its own shared buffer, and every
+// submission entry carries the tenant's ID — the drain rejects entries
+// whose tag differs from the server-side binding (RingStatusBadTenant)
+// and never touches another tenant's slots.
+
+// Directory offsets (bytes). Epoch and sleep flag get a cache line each
+// so tenant bit traffic does not false-share with the sleep flag; bitmap
+// words pack behind them.
+const (
+	dirOffEpoch  = 0 * hw.LineSize
+	dirOffSleep  = 1 * hw.LineSize
+	dirOffBitmap = 2 * hw.LineSize
+)
+
+// FrontendConfig parameterizes a Frontend. The zero value means
+// defaults.
+type FrontendConfig struct {
+	// Pol is the drain loop's (and the tenants' reap) wake policy.
+	Pol mk.WakePolicy
+	// Credit is the default per-tenant in-flight credit: the ring depth
+	// OpenTenantRing uses when the caller passes qd 0 (default 8, max
+	// MaxQD).
+	Credit int
+	// Quantum is the deficit-round-robin refill per sweep visit: how many
+	// requests a tenant's deficit grows by each time the sweep reaches
+	// its set bit (default 4).
+	Quantum int
+	// FullSweepEvery is how many busy sweeps pass between full
+	// tail rescans repairing the bitmap (default 64).
+	FullSweepEvery int
+}
+
+func (c FrontendConfig) withDefaults() FrontendConfig {
+	if c.Credit == 0 {
+		c.Credit = 8
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 4
+	}
+	if c.FullSweepEvery == 0 {
+		c.FullSweepEvery = 64
+	}
+	return c
+}
+
+// TenantHandler is a frontend's request handler: like Handler, plus the
+// ring-authenticated tenant ID the request arrived on. The tenant is
+// server-side state bound at ring-open time — a client cannot forge it.
+type TenantHandler func(env *mk.Env, tenant int, req Request) Response
+
+// Frontend is the multiplexing drain attached to one registered server.
+type Frontend struct {
+	sb   *SkyBridge
+	sink ringSink
+	cfg  FrontendConfig
+
+	handler TenantHandler
+
+	rings   []*AsyncRing // tenant ID -> ring, in open order
+	deficit []int        // DRR deficit per tenant
+
+	dirFrames []hw.GPA
+	dirSrv    hw.VA // server-side mapping of the directory
+	nWords    int
+
+	epoch           uint64
+	sweepsSinceFull int
+	closed          bool
+
+	// Stats.
+	Sweeps        uint64 // drain sweeps (one epoch stamp each)
+	FullSweeps    uint64 // sweeps that rescanned every tail
+	TailPolls     uint64 // individual ring-tail reads by full rescans
+	TenantsVisited uint64 // set bits drained across all sweeps
+	TenantsSkipped uint64 // idle tenants skipped by the bitmap
+	PollCycles    uint64 // sweep cycles outside ring drain + dispatch
+	ServiceCycles uint64 // sweep cycles inside ring drain + dispatch
+}
+
+// NewFrontend attaches a multi-tenant drain to a registered server. The
+// directory is sized for the server's MaxConns tenants. Tenants then
+// open rings with OpenTenantRing, and the server process runs fe.Serve
+// on a dedicated thread.
+func (sb *SkyBridge) NewFrontend(serverID int, cfg FrontendConfig, h TenantHandler) (*Frontend, error) {
+	srv, ok := sb.servers[serverID]
+	if !ok {
+		return nil, ErrNoSuchServer
+	}
+	if sb.frontends[serverID] != nil {
+		return nil, fmt.Errorf("core: server %d already has a frontend", serverID)
+	}
+	if h == nil {
+		return nil, fmt.Errorf("core: frontend for server %d needs a tenant handler", serverID)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Credit > MaxQD {
+		return nil, fmt.Errorf("core: frontend credit %d exceeds ring depth limit %d", cfg.Credit, MaxQD)
+	}
+	words := (srv.MaxConns + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	dirBytes := dirOffBitmap + 8*words
+	pages := (dirBytes + hw.PageSize - 1) / hw.PageSize
+	frames := make([]hw.GPA, pages)
+	for i := range frames {
+		frames[i] = hw.GPA(sb.K.Mach.Mem.MustAllocFrame())
+	}
+	fe := &Frontend{
+		sb:        sb,
+		sink:      ringSink{srv: srv},
+		cfg:       cfg,
+		handler:   h,
+		dirFrames: frames,
+		dirSrv:    srv.Proc.MapFrames(frames, hw.PTEUser|hw.PTEWrite),
+		nWords:    words,
+	}
+	sb.frontends[serverID] = fe
+	return fe, nil
+}
+
+// Server returns the registered server this frontend drains for.
+func (fe *Frontend) Server() *Server { return fe.sink.srv }
+
+// Served returns completions written; Bad submissions rejected (bounds
+// or tenant-tag checks).
+func (fe *Frontend) Served() uint64 { return fe.sink.Served }
+
+// Bad returns rejected submissions.
+func (fe *Frontend) Bad() uint64 { return fe.sink.Bad }
+
+// Rings returns the tenant rings in tenant-ID order.
+func (fe *Frontend) Rings() []*AsyncRing { return fe.rings }
+
+// OpenTenantRing opens the calling client's per-tenant ring: depth qd (0
+// means the frontend's credit), payload slots of at least payloadCap
+// bytes, tagged with the next tenant ID and wired into the directory.
+// The client must have registered to the frontend's server first
+// (RegisterClient issued its calling key and EPTP binding). Returns the
+// ring and the assigned tenant ID.
+func (fe *Frontend) OpenTenantRing(env *mk.Env, qd, payloadCap int) (*AsyncRing, int, error) {
+	sb, srv := fe.sb, fe.sink.srv
+	conn, ok := sb.bindings[env.P][srv.ID]
+	if !ok {
+		return nil, 0, ErrNotRegistered
+	}
+	tenant := len(fe.rings)
+	if tenant >= fe.nWords*64 {
+		return nil, 0, fmt.Errorf("core: frontend directory full (%d tenants)", tenant)
+	}
+	if qd == 0 {
+		qd = fe.cfg.Credit
+	}
+	if qd > fe.cfg.Credit {
+		return nil, 0, fmt.Errorf("core: ring depth %d exceeds tenant credit %d", qd, fe.cfg.Credit)
+	}
+	r, err := sb.newRing(conn, &fe.sink, srv.ID, qd, payloadCap, fe.cfg.Pol)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.tagged = true
+	r.tenant = uint32(tenant)
+	r.handler = func(env *mk.Env, req Request) Response {
+		return fe.handler(env, tenant, req)
+	}
+	// Map the directory into the tenant (writable: it sets its own bit;
+	// the bitmap is a hint, so this grants no authority — see the package
+	// comment on malicious clears).
+	r.dirVA = env.P.MapFrames(fe.dirFrames, hw.PTEUser|hw.PTEWrite)
+	r.dirWord = tenant / 64
+	r.dirMask = 1 << (tenant % 64)
+	var zero [8]byte
+	for _, off := range []int{ctlSQTail, ctlCQTail, ctlNeedDoorbell, ctlClientWait} {
+		env.Write(conn.ClientBuf+hw.VA(off), zero[:], 8)
+	}
+	fe.rings = append(fe.rings, r)
+	fe.deficit = append(fe.deficit, 0)
+	return r, tenant, nil
+}
+
+// readDirU64/writeDirU64 access one directory word with a charged 8-byte
+// memory operation through the given mapping.
+func readDirU64(env *mk.Env, base hw.VA, off int) uint64 {
+	var b [8]byte
+	env.Read(base+hw.VA(off), b[:], 8)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func writeDirU64(env *mk.Env, base hw.VA, off int, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	env.Write(base+hw.VA(off), b[:], 8)
+}
+
+// flushDir is the directory form of Flush (asyncring.go): set the
+// tenant's active bit, then doorbell only if the drain loop declared
+// itself asleep. The sqTail write in Submit and the bit write here both
+// precede the sleep-flag read, pairing with the drain loop's
+// arm -> full-rescan -> park sequence: a parking server either sees the
+// tail in its pre-park rescan or is doorbelled.
+func (r *AsyncRing) flushDir(env *mk.Env) error {
+	w := readDirU64(env, r.dirVA, dirOffBitmap+8*r.dirWord)
+	if w&r.dirMask == 0 {
+		writeDirU64(env, r.dirVA, dirOffBitmap+8*r.dirWord, w|r.dirMask)
+	}
+	if readDirU64(env, r.dirVA, dirOffSleep) == 0 {
+		r.DoorbellsSkipped++
+		r.sb.RingDoorbellsSkipped++
+		if r.flushT != nil {
+			for s := r.flushSeq; s != r.subSeq; s++ {
+				r.flushT[s%uint32(r.QD)] = env.T.Core.Clock
+			}
+		}
+		r.flushSeq = r.subSeq
+		return nil
+	}
+	return r.doorbell(env, 0, false)
+}
+
+// setBit/clearBit repair or retire a tenant's directory bit from the
+// server side (one charged read-modify-write; sweeps never interleave
+// with tenant flushes mid-RMW because neither side checkpoints inside).
+func (fe *Frontend) setBit(env *mk.Env, t int) {
+	off := dirOffBitmap + 8*(t/64)
+	w := readDirU64(env, fe.dirSrv, off)
+	if m := uint64(1) << (t % 64); w&m == 0 {
+		writeDirU64(env, fe.dirSrv, off, w|m)
+	}
+}
+
+func (fe *Frontend) clearBit(env *mk.Env, t int) {
+	off := dirOffBitmap + 8*(t/64)
+	w := readDirU64(env, fe.dirSrv, off)
+	if m := uint64(1) << (t % 64); w&m != 0 {
+		writeDirU64(env, fe.dirSrv, off, w&^m)
+	}
+}
+
+// sweep is one epoch of the drain: stamp the epoch word, optionally
+// rescan every tail to repair the bitmap, then visit exactly the set
+// bits in tenant-ID order, draining each visited tenant by at most its
+// deficit (deficit round robin). A tenant drained empty has its bit
+// cleared and deficit reset; one left with pending work keeps its bit
+// and earns another quantum next sweep.
+func (fe *Frontend) sweep(env *mk.Env) (int, error) {
+	cpu := env.T.Core
+	t0 := cpu.Clock
+	fe.Sweeps++
+	fe.epoch++
+	writeDirU64(env, fe.dirSrv, dirOffEpoch, fe.epoch)
+
+	fe.sweepsSinceFull++
+	if fe.sweepsSinceFull >= fe.cfg.FullSweepEvery {
+		fe.sweepsSinceFull = 0
+		fe.FullSweeps++
+		for t, r := range fe.rings {
+			fe.TailPolls++
+			if readCtl(env, r.conn.ServerBuf, ctlSQTail) != r.srvSeq {
+				fe.setBit(env, t)
+			}
+		}
+	}
+
+	served, visited := 0, 0
+	var service uint64
+	for w := 0; w < fe.nWords; w++ {
+		word := readDirU64(env, fe.dirSrv, dirOffBitmap+8*w)
+		for bitsLeft := word; bitsLeft != 0; {
+			tz := bits.TrailingZeros64(bitsLeft)
+			bitsLeft &^= 1 << tz
+			t := w*64 + tz
+			if t >= len(fe.rings) {
+				// A bit beyond any issued ring: only a malicious or
+				// buggy tenant sets one; retire it.
+				fe.clearBit(env, t)
+				continue
+			}
+			visited++
+			fe.deficit[t] += fe.cfg.Quantum
+			s0 := cpu.Clock
+			n, more, err := fe.rings[t].serveDrainMax(env, fe.deficit[t])
+			service += cpu.Clock - s0
+			if err != nil {
+				return served, err
+			}
+			fe.deficit[t] -= n
+			served += n
+			if !more {
+				fe.deficit[t] = 0
+				fe.clearBit(env, t)
+			}
+		}
+	}
+	fe.TenantsVisited += uint64(visited)
+	fe.TenantsSkipped += uint64(len(fe.rings) - visited)
+	fe.ServiceCycles += service
+	fe.PollCycles += (cpu.Clock - t0) - service
+	return served, nil
+}
+
+// Serve is the frontend's drain loop: sweep while work arrives, and when
+// a sweep comes back empty wait adaptively — spin probing only the
+// bitmap words (O(words)), then publish the serverSleeping flag, re-scan
+// every ring's tail directly (the Dekker re-check that makes malicious
+// bit clears harmless on the sleep edge), and park until a tenant's
+// doorbell (or Close) kicks the thread. Runs on a dedicated thread of
+// the server process; returns nil after Close once every ring is
+// drained, or the first dispatch error.
+func (fe *Frontend) Serve(env *mk.Env) error {
+	if env.P != fe.sink.srv.Proc {
+		return fmt.Errorf("core: frontend for %s serving from process %s",
+			fe.sink.srv.Proc.Name, env.P.Name)
+	}
+	for {
+		env.T.Checkpoint()
+		n, err := fe.sweep(env)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			continue
+		}
+		if fe.closed {
+			return fe.finalDrain(env)
+		}
+		armed := false
+		env.AdaptiveWait(&fe.sink.parker, fe.cfg.Pol, func() bool {
+			if fe.closed {
+				return true
+			}
+			if !armed {
+				// Spin probe: bitmap words only.
+				for w := 0; w < fe.nWords; w++ {
+					if readDirU64(env, fe.dirSrv, dirOffBitmap+8*w) != 0 {
+						return true
+					}
+				}
+				return false
+			}
+			// Post-arm re-check: every tail, directly. A tenant whose bit
+			// was cleared out from under it is found here — repair the bit
+			// so the next sweep drains it instead of spinning back here.
+			for t, r := range fe.rings {
+				if readCtl(env, r.conn.ServerBuf, ctlSQTail) != r.srvSeq {
+					fe.setBit(env, t)
+					return true
+				}
+			}
+			return false
+		}, func() {
+			armed = true
+			writeDirU64(env, fe.dirSrv, dirOffSleep, 1)
+		}, func() {
+			armed = false
+			writeDirU64(env, fe.dirSrv, dirOffSleep, 0)
+		})
+	}
+}
+
+// finalDrain empties every ring after Close, ignoring the bitmap (a
+// shutdown must not trust a hint).
+func (fe *Frontend) finalDrain(env *mk.Env) error {
+	for {
+		n := 0
+		for _, r := range fe.rings {
+			m, err := r.serveDrain(env)
+			if err != nil {
+				return err
+			}
+			n += m
+		}
+		if n == 0 {
+			return nil
+		}
+	}
+}
+
+// Close marks the drain loop for shutdown and kicks it awake (shutdown
+// bookkeeping: no IPI is modeled). The loop drains any remaining
+// submissions before returning. Callers stop submitting first.
+func (fe *Frontend) Close(env *mk.Env) {
+	fe.closed = true
+	env.K.CloseParker(env.T.Core, &fe.sink.parker)
+}

@@ -47,7 +47,17 @@ const (
 	KeyTableVA hw.VA = 0x21_0000
 	// FuncListVA is where the server function list is mapped in clients.
 	FuncListVA hw.VA = 0x22_0000
+	// keyTableBigVA is where multi-page calling-key tables are mapped
+	// (servers whose maxConns exceed the 512 keys of a single page —
+	// e.g. a multi-tenant frontend). Single-page tables keep the
+	// architected KeyTableVA slots; big tables allocate contiguously from
+	// this region via a per-process cursor, far from text, heap, and the
+	// architected pages.
+	keyTableBigVA hw.VA = 0x3000_0000
 )
+
+// keysPerPage is how many 8-byte calling keys one table page holds.
+const keysPerPage = hw.PageSize / 8
 
 // Trampoline cost constants (cycles), calibrated so that a warm direct
 // call round trip costs ~396 cycles: 2x VMFUNC (134 each) plus 2x ~64
@@ -152,6 +162,9 @@ type SkyBridge struct {
 	// ringServers[serverID] is the asynchronous poll loop attached to a
 	// server, if any (asyncring.go).
 	ringServers map[int]*RingServer
+	// frontends[serverID] is the multi-tenant directory drain attached to
+	// a server, if any (mpsc.go).
+	frontends map[int]*Frontend
 	// bindings[client] lists the servers the client registered to.
 	bindings map[*mk.Process]map[int]*Connection
 	// tc tracks each thread's active direct-call chain: the EPT-context
@@ -200,6 +213,7 @@ func New(k *mk.Kernel, rk *hv.Rootkernel) *SkyBridge {
 		RK:          rk,
 		servers:     make(map[int]*Server),
 		ringServers: make(map[int]*RingServer),
+		frontends:   make(map[int]*Frontend),
 		bindings:    make(map[*mk.Process]map[int]*Connection),
 		tc:          make(map[*sim.Thread]*threadCtx),
 		rng:         rand.New(rand.NewSource(0x5B)), // deterministic key stream
@@ -282,7 +296,11 @@ func (sb *SkyBridge) RemapCodePages(env *mk.Env, newCode []byte) error {
 	return sb.scanAndRewrite(p)
 }
 
-type procExt struct{}
+type procExt struct {
+	// ktNext is the process's allocation cursor for multi-page calling-key
+	// tables (keyTableBigVA region).
+	ktNext hw.VA
+}
 
 // RegisterServer implements register_server (Figure 4): the server provides
 // a handler (and its address) plus the maximum number of connections; the
@@ -306,10 +324,30 @@ func (sb *SkyBridge) RegisterServer(env *mk.Env, maxConns int, funcAddr hw.VA, h
 	if err != nil {
 		return 0, err
 	}
-	// Key table page, mapped user-read-only into the server (the server's
-	// trampoline checks keys against it; only the kernel writes it).
-	ktFrame := sb.K.Mach.Mem.MustAllocFrame()
-	p.MapAt(KeyTableVA+hw.VA((id-1)*hw.PageSize), []hw.GPA{hw.GPA(ktFrame)}, hw.PTEUser)
+	// Key table, mapped user-read-only into the server (the server's
+	// trampoline checks keys against it; only the kernel writes it). One
+	// page holds 512 keys; a server admitting more connections than that
+	// (a multi-tenant frontend) gets a contiguous multi-page table from
+	// the keyTableBigVA region — slot 512+ would otherwise write past the
+	// single architected frame into foreign memory.
+	pages := (maxConns*8 + hw.PageSize - 1) / hw.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	ktBase := KeyTableVA + hw.VA((id-1)*hw.PageSize)
+	if pages > 1 {
+		ext := p.Ext.(*procExt)
+		if ext.ktNext == 0 {
+			ext.ktNext = keyTableBigVA
+		}
+		ktBase = ext.ktNext
+		ext.ktNext += hw.VA((pages + 1) * hw.PageSize) // one-page guard gap
+	}
+	frames := make([]hw.GPA, pages)
+	for i := range frames {
+		frames[i] = hw.GPA(sb.K.Mach.Mem.MustAllocFrame())
+	}
+	p.MapAt(ktBase, frames, hw.PTEUser)
 
 	srv := &Server{
 		ID:       id,
@@ -317,7 +355,7 @@ func (sb *SkyBridge) RegisterServer(env *mk.Env, maxConns int, funcAddr hw.VA, h
 		Handler:  handler,
 		MaxConns: maxConns,
 		FuncAddr: funcAddr,
-		keyTable: KeyTableVA + hw.VA((id-1)*hw.PageSize),
+		keyTable: ktBase,
 	}
 	sb.servers[id] = srv
 	return id, nil
@@ -376,13 +414,16 @@ func (sb *SkyBridge) RegisterClient(env *mk.Env, serverID int) (*Connection, err
 		Stack:     srv.Proc.AllocStack(4 * hw.PageSize),
 		slot:      len(srv.conns),
 	}
-	// Write the key into the server's calling-key table page (kernel-side
-	// write through physical memory).
-	ktGPA, _, okWalk := srv.Proc.PT.Walk(srv.keyTable)
+	// Write the key into the server's calling-key table (kernel-side write
+	// through physical memory). The table may span pages, and frames are
+	// not physically contiguous: walk the page the slot lands on, then
+	// offset within that frame.
+	ktPage := srv.keyTable + hw.VA((conn.slot/keysPerPage)*hw.PageSize)
+	ktGPA, _, okWalk := srv.Proc.PT.Walk(ktPage)
 	if !okWalk {
 		return nil, fmt.Errorf("core: server key table unmapped")
 	}
-	writeU64Phys(sb.K.Mach.Mem, hw.HPA(ktGPA)+hw.HPA(8*conn.slot), conn.ServerKey)
+	writeU64Phys(sb.K.Mach.Mem, hw.HPA(ktGPA)+hw.HPA(8*(conn.slot%keysPerPage)), conn.ServerKey)
 
 	srv.conns = append(srv.conns, conn)
 	if sb.bindings[p] == nil {

@@ -1,0 +1,66 @@
+package kv
+
+import (
+	"testing"
+
+	"skybridge/internal/hw"
+	"skybridge/internal/mk"
+	"skybridge/internal/sim"
+	"skybridge/internal/svc"
+)
+
+// putFrame builds an OpPut payload (u16 keyLen | key | val).
+func putFrame(key, val string) []byte {
+	b := make([]byte, 2+len(key)+len(val))
+	b[0], b[1] = byte(len(key)), byte(len(key)>>8)
+	copy(b[2:], key)
+	copy(b[2+len(key):], val)
+	return b
+}
+
+// TestTenantGuard: the guarded handler confines each tenant to its own
+// key prefix — cross-tenant gets and puts come back StatusWrongTenant
+// without touching the store, while malformed frames still fall through
+// to the store's own StatusBadReq.
+func TestTenantGuard(t *testing.T) {
+	eng := sim.NewEngine(hw.NewMachine(hw.MachineConfig{Cores: 1, MemBytes: 1 << 30}))
+	k := mk.New(mk.Config{Flavor: mk.SeL4}, eng)
+	p := k.NewProcess("store")
+	store := NewStore(p, 256, 1024)
+	guarded := TenantGuard(store.Handler())
+	p.Spawn("drv", k.Mach.Cores[0], func(env *mk.Env) {
+		// Tenant 3 writes and reads under its own prefix.
+		own := TenantKey(3, "alpha")
+		if r := guarded(env, 3, svc.Req{Op: OpPut, Data: putFrame(own, "v1")}); r.Status != StatusOK {
+			t.Errorf("own put status %d", r.Status)
+		}
+		if r := guarded(env, 3, svc.Req{Op: OpGet, Data: []byte(own)}); r.Status != StatusOK || string(r.Data) != "v1" {
+			t.Errorf("own get = %d %q", r.Status, r.Data)
+		}
+		// Tenant 5 cannot read or overwrite tenant 3's key.
+		if r := guarded(env, 5, svc.Req{Op: OpGet, Data: []byte(own)}); r.Status != StatusWrongTenant {
+			t.Errorf("cross get status %d, want StatusWrongTenant", r.Status)
+		}
+		if r := guarded(env, 5, svc.Req{Op: OpPut, Data: putFrame(own, "evil")}); r.Status != StatusWrongTenant {
+			t.Errorf("cross put status %d, want StatusWrongTenant", r.Status)
+		}
+		gets := store.Gets
+		if r := guarded(env, 3, svc.Req{Op: OpGet, Data: []byte(own)}); r.Status != StatusOK || string(r.Data) != "v1" {
+			t.Errorf("value after cross-tenant attempts = %d %q", r.Status, r.Data)
+		}
+		if store.Gets != gets+1 {
+			t.Errorf("store.Gets advanced by %d; rejected requests reached the store", store.Gets-gets)
+		}
+		// An unprefixed key matches no tenant.
+		if r := guarded(env, 0, svc.Req{Op: OpGet, Data: []byte("alpha")}); r.Status != StatusWrongTenant {
+			t.Errorf("unprefixed get status %d, want StatusWrongTenant", r.Status)
+		}
+		// Malformed put frames still surface the store's StatusBadReq.
+		if r := guarded(env, 3, svc.Req{Op: OpPut, Data: []byte{9}}); r.Status != StatusBadReq {
+			t.Errorf("malformed put status %d, want StatusBadReq", r.Status)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -258,3 +258,14 @@ func (e *Env) ExecCode(va hw.VA, n int) {
 
 // Now returns the thread's current cycle time.
 func (e *Env) Now() uint64 { return e.T.Now() }
+
+// Sleep blocks the thread for n cycles without charging the core: the
+// thread parks and a timer event resumes it, so other threads sharing the
+// core run in the gap (think time in a closed-loop client is idle, not
+// busy-wait). The wake is pushed before the park on the same goroutine,
+// so the thread is parked by the time the event can dispatch.
+func (e *Env) Sleep(n uint64) {
+	t := e.T
+	t.Engine().Wake(t, t.Core.Clock+n, nil)
+	t.Park()
+}
