@@ -9,14 +9,15 @@
 //	skybench -run table2 -trace trace.json -metrics metrics.json
 //
 // Experiments: table1 table2 table4 table5 table6 fig2 fig7 fig8 fig9
-// fig10 fig11 ablations scaling async dbscale tenants (-list prints
-// them). Paper-scale knobs: -records, -ops, -kvops, -clients, -scale,
-// -tenants.
+// fig10 fig11 ablations scaling async dbscale tenants skew (-list prints
+// them with one-line descriptions). Paper-scale knobs: -records, -ops,
+// -kvops, -clients, -scale, -tenants.
 //
 // -benchout <kind>=<path> runs a standalone benchmark and writes its JSON
 // document: host (suite wall-clock timings), scaling (multicore sweep),
 // async (ring queue-depth sweep), db (SQLite/FS lock-and-fast-path
-// sweep), tenants (multi-tenant frontend sweep). Repeatable.
+// sweep), tenants (multi-tenant frontend sweep), skew (adaptive
+// placement under skew). Repeatable.
 //
 // Host-side accelerators: -hostcache on|off gates the walk-memo and
 // decode caches, -superblock on|off gates superblock direct-threaded
@@ -120,13 +121,13 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	)
 	benchOuts := map[string]string{}
-	flag.Func("benchout", "run a standalone benchmark and write its JSON: <kind>=<path>, kind one of host|scaling|async|db|tenants (repeatable)",
+	flag.Func("benchout", "run a standalone benchmark and write its JSON: <kind>=<path>, kind one of host|scaling|async|db|tenants|skew (repeatable)",
 		func(v string) error { return parseBenchOut(benchOuts, v) })
 	flag.Parse()
 
 	if *list {
-		for _, n := range experimentNames {
-			fmt.Println(n)
+		for _, u := range bench.ExperimentInfo() {
+			fmt.Printf("%-10s %s\n", u.Name, u.Desc)
 		}
 		return
 	}
@@ -245,9 +246,9 @@ func parseBenchOut(outs map[string]string, v string) error {
 	}
 	kind = strings.ToLower(strings.TrimSpace(kind))
 	switch kind {
-	case "host", "scaling", "async", "db", "tenants":
+	case "host", "scaling", "async", "db", "tenants", "skew":
 	default:
-		return fmt.Errorf("unknown benchmark kind %q (host, scaling, async, db, tenants)", kind)
+		return fmt.Errorf("unknown benchmark kind %q (host, scaling, async, db, tenants, skew)", kind)
 	}
 	if prev, dup := outs[kind]; dup {
 		return fmt.Errorf("duplicate -benchout kind %q (already writing %s)", kind, prev)
@@ -257,7 +258,7 @@ func parseBenchOut(outs map[string]string, v string) error {
 }
 
 // runBenchOuts runs the requested standalone benchmarks in a fixed order
-// (host, scaling, async, db, tenants) and writes each result where
+// (host, scaling, async, db, tenants, skew) and writes each result where
 // -benchout asked.
 func runBenchOuts(outs map[string]string, sel map[string]bool, opts bench.Options, jobs int) error {
 	if path, ok := outs["host"]; ok {
@@ -302,6 +303,16 @@ func runBenchOuts(outs map[string]string, sel map[string]bool, opts bench.Option
 		}
 		fmt.Print(r.Render())
 		if err := writeFile(path, func(w io.Writer) error { return bench.WriteTenantsBench(w, r) }); err != nil {
+			return err
+		}
+	}
+	if path, ok := outs["skew"]; ok {
+		r, err := bench.Skew(bench.SkewConfig{TotalOps: 8 * opts.KVOps})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		if err := writeFile(path, func(w io.Writer) error { return bench.WriteSkewBench(w, r) }); err != nil {
 			return err
 		}
 	}

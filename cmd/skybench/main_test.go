@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"skybridge/internal/bench"
+)
 
 func TestExperimentNamesIncludeScaling(t *testing.T) {
 	// -list prints experimentNames; the catalog must expose every
@@ -12,9 +16,19 @@ func TestExperimentNamesIncludeScaling(t *testing.T) {
 		}
 		found[n] = true
 	}
-	for _, want := range []string{"table2", "fig8", "fig9", "scaling", "tenants"} {
+	for _, want := range []string{"table2", "fig8", "fig9", "scaling", "tenants", "skew"} {
 		if !found[want] {
 			t.Errorf("experiment %q missing from -list output", want)
+		}
+	}
+}
+
+func TestExperimentDescriptionsNonEmpty(t *testing.T) {
+	// -list prints "name  description"; every distinct selector must carry
+	// a one-line description.
+	for _, u := range bench.ExperimentInfo() {
+		if u.Desc == "" {
+			t.Errorf("experiment %q has no description", u.Name)
 		}
 	}
 }
@@ -69,12 +83,12 @@ func TestSelectExperimentsAllPlusUnknown(t *testing.T) {
 
 func TestParseBenchOut(t *testing.T) {
 	outs := map[string]string{}
-	for _, v := range []string{"host=a.json", "Scaling=b.json", "async=c.json", "db=d.json", "tenants=e.json"} {
+	for _, v := range []string{"host=a.json", "Scaling=b.json", "async=c.json", "db=d.json", "tenants=e.json", "skew=f.json"} {
 		if err := parseBenchOut(outs, v); err != nil {
 			t.Fatalf("parseBenchOut(%q): %v", v, err)
 		}
 	}
-	if outs["host"] != "a.json" || outs["scaling"] != "b.json" || outs["async"] != "c.json" || outs["db"] != "d.json" || outs["tenants"] != "e.json" {
+	if outs["host"] != "a.json" || outs["scaling"] != "b.json" || outs["async"] != "c.json" || outs["db"] != "d.json" || outs["tenants"] != "e.json" || outs["skew"] != "f.json" {
 		t.Errorf("outs = %v", outs)
 	}
 	for _, bad := range []string{"host=", "host", "=x.json", "fig7=x.json", "async=dup.json", "hostbench=x.json"} {

@@ -30,7 +30,10 @@ type Options struct {
 type Experiment struct {
 	Name  string
 	Label string
-	Run   func(s *Session, o Options) (string, error)
+	// Desc is the one-line description skybench -list prints next to the
+	// selector; units sharing a Name share it.
+	Desc string
+	Run  func(s *Session, o Options) (string, error)
 }
 
 // Catalog returns the experiment units in declaration order — the order
@@ -38,19 +41,19 @@ type Experiment struct {
 // any worker count.
 func Catalog() []Experiment {
 	units := []Experiment{
-		{Name: "table2", Label: "table2", Run: func(s *Session, o Options) (string, error) {
+		{Name: "table2", Label: "table2", Desc: "per-call IPC cost breakdown vs the paper's Table 2", Run: func(s *Session, o Options) (string, error) {
 			return s.Table2().Render(), nil
 		}},
-		{Name: "fig7", Label: "fig7", Run: func(s *Session, o Options) (string, error) {
+		{Name: "fig7", Label: "fig7", Desc: "IPC round-trip latency microbenchmark (Figure 7)", Run: func(s *Session, o Options) (string, error) {
 			return s.Figure7().Render(), nil
 		}},
-		{Name: "table1", Label: "table1", Run: func(s *Session, o Options) (string, error) {
+		{Name: "table1", Label: "table1", Desc: "KV-store pipeline per-op cost across transports (Table 1)", Run: func(s *Session, o Options) (string, error) {
 			return s.Table1().Render(), nil
 		}},
-		{Name: "fig2", Label: "fig2", Run: func(s *Session, o Options) (string, error) {
+		{Name: "fig2", Label: "fig2", Desc: "KV-store throughput without SkyBridge (Figure 2)", Run: func(s *Session, o Options) (string, error) {
 			return s.Figure2(o.KVOps).Render(), nil
 		}},
-		{Name: "fig8", Label: "fig8", Run: func(s *Session, o Options) (string, error) {
+		{Name: "fig8", Label: "fig8", Desc: "KV-store throughput over SkyBridge (Figure 8)", Run: func(s *Session, o Options) (string, error) {
 			return s.Figure8(o.KVOps).Render(), nil
 		}},
 	}
@@ -58,6 +61,7 @@ func Catalog() []Experiment {
 		fl := fl
 		units = append(units, Experiment{
 			Name: "table4", Label: "table4/" + fl.String(),
+			Desc: "three-tier SQLite stack ops across kernel flavors (Table 4)",
 			Run: func(s *Session, o Options) (string, error) {
 				r, err := s.Table4(Table4Config{
 					Flavor: fl, Clients: o.Clients, OpsPerKind: o.OpsPerKind, Preload: o.Preload,
@@ -76,6 +80,7 @@ func Catalog() []Experiment {
 		f := f
 		units = append(units, Experiment{
 			Name: f.name, Label: f.name,
+			Desc: "YCSB on the SQLite stack, one kernel flavor each (Figures 9-11)",
 			Run: func(s *Session, o Options) (string, error) {
 				r, err := s.Figure9to11(YCSBConfig{Flavor: f.flavor, Records: o.Records, Ops: o.Ops})
 				if err != nil {
@@ -86,46 +91,53 @@ func Catalog() []Experiment {
 		})
 	}
 	units = append(units,
-		Experiment{Name: "table5", Label: "table5", Run: func(s *Session, o Options) (string, error) {
+		Experiment{Name: "table5", Label: "table5", Desc: "YCSB latency percentiles on the SQLite stack (Table 5)", Run: func(s *Session, o Options) (string, error) {
 			r, err := s.Table5(o.Records, o.Ops)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		Experiment{Name: "table6", Label: "table6", Run: func(s *Session, o Options) (string, error) {
+		Experiment{Name: "table6", Label: "table6", Desc: "inadvertent-VMFUNC binary scan (Table 6)", Run: func(s *Session, o Options) (string, error) {
 			r, err := s.Table6(o.Scale)
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		Experiment{Name: "ablations", Label: "ablations", Run: func(s *Session, o Options) (string, error) {
+		Experiment{Name: "ablations", Label: "ablations", Desc: "design-choice ablations from DESIGN.md", Run: func(s *Session, o Options) (string, error) {
 			return RenderAblations(s.Ablations()), nil
 		}},
-		Experiment{Name: "scaling", Label: "scaling", Run: func(s *Session, o Options) (string, error) {
+		Experiment{Name: "scaling", Label: "scaling", Desc: "multicore KV scaling sweep (cores x batch)", Run: func(s *Session, o Options) (string, error) {
 			r, err := s.Scaling(ScalingConfig{Records: o.Records, TotalOps: o.KVOps})
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		Experiment{Name: "async", Label: "async", Run: func(s *Session, o Options) (string, error) {
+		Experiment{Name: "async", Label: "async", Desc: "async ring queue-depth sweep over one connection", Run: func(s *Session, o Options) (string, error) {
 			r, err := s.Async(AsyncConfig{Records: o.Records, TotalOps: o.KVOps})
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		Experiment{Name: "dbscale", Label: "dbscale", Run: func(s *Session, o Options) (string, error) {
+		Experiment{Name: "dbscale", Label: "dbscale", Desc: "SQLite/FS lock granularity and fast-path sweep", Run: func(s *Session, o Options) (string, error) {
 			r, err := s.DBScale(DBScaleConfig{Records: o.Records / 4, OpsPerClient: o.Ops})
 			if err != nil {
 				return "", err
 			}
 			return r.Render(), nil
 		}},
-		Experiment{Name: "tenants", Label: "tenants", Run: func(s *Session, o Options) (string, error) {
+		Experiment{Name: "tenants", Label: "tenants", Desc: "multi-tenant frontend sweep (rings + directory drain)", Run: func(s *Session, o Options) (string, error) {
 			r, err := s.Tenants(TenantsConfig{MaxTenants: o.Tenants})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		Experiment{Name: "skew", Label: "skew", Desc: "adaptive placement under skew: migration + stealing + autoscaling", Run: func(s *Session, o Options) (string, error) {
+			r, err := s.Skew(SkewConfig{TotalOps: 8 * o.KVOps})
 			if err != nil {
 				return "", err
 			}
@@ -146,6 +158,20 @@ func ExperimentNames() []string {
 		}
 	}
 	return names
+}
+
+// ExperimentInfo returns (name, description) pairs for the distinct
+// selector names in catalog order — what skybench -list prints.
+func ExperimentInfo() []Experiment {
+	var units []Experiment
+	seen := map[string]bool{}
+	for _, u := range Catalog() {
+		if !seen[u.Name] {
+			seen[u.Name] = true
+			units = append(units, u)
+		}
+	}
+	return units
 }
 
 // cellJobs is the worker count for sub-experiment parallelism: the sweep

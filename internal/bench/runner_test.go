@@ -129,7 +129,7 @@ func TestRunAllSelectionAndErrors(t *testing.T) {
 // vocabulary) in catalog order.
 func TestExperimentNamesStable(t *testing.T) {
 	want := []string{"table2", "fig7", "table1", "fig2", "fig8", "table4",
-		"fig9", "fig10", "fig11", "table5", "table6", "ablations", "scaling", "async", "dbscale", "tenants"}
+		"fig9", "fig10", "fig11", "table5", "table6", "ablations", "scaling", "async", "dbscale", "tenants", "skew"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v, want %v", got, want)

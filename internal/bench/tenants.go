@@ -4,8 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
-	"sort"
 	"strings"
 
 	"skybridge/internal/core"
@@ -189,50 +187,14 @@ func (s *Session) Tenants(cfg TenantsConfig) (*TenantsResult, error) {
 // by zipf(0.99) rank weight (largest-remainder rounding, one op
 // minimum), so tenant 0 is the hog and the tail stays cold.
 func tenantOps(dist string, tenants, perTenant int) []int {
-	ops := make([]int, tenants)
 	if dist != "zipfian" {
+		ops := make([]int, tenants)
 		for t := range ops {
 			ops[t] = perTenant
 		}
 		return ops
 	}
-	total := tenants * perTenant
-	weights := make([]float64, tenants)
-	sum := 0.0
-	for t := range weights {
-		weights[t] = 1 / math.Pow(float64(t+1), 0.99)
-		sum += weights[t]
-	}
-	assigned := 0
-	fracs := make([]float64, tenants)
-	for t := range ops {
-		share := float64(total) * weights[t] / sum
-		ops[t] = int(share)
-		if ops[t] < 1 {
-			ops[t] = 1
-		}
-		fracs[t] = share - math.Floor(share)
-		assigned += ops[t]
-	}
-	// Largest-remainder distribution of the leftover (deterministic
-	// tie-break on tenant ID); an over-assignment from the one-op floor
-	// comes off the head tenants, never the floored tail.
-	order := make([]int, tenants)
-	for t := range order {
-		order[t] = t
-	}
-	sort.SliceStable(order, func(a, b int) bool { return fracs[order[a]] > fracs[order[b]] })
-	for i := 0; assigned < total; i = (i + 1) % tenants {
-		ops[order[i]]++
-		assigned++
-	}
-	for t := 0; assigned > total && t < tenants; t = (t + 1) % tenants {
-		if ops[t] > 1 {
-			ops[t]--
-			assigned--
-		}
-	}
-	return ops
+	return zipfApportion(tenants*perTenant, tenants, 0.99)
 }
 
 // runTenantsCell measures one (tenants, serverCores, dist) configuration.
@@ -521,28 +483,28 @@ func (s *Session) runTenantsCell(cfg TenantsConfig, tenants, serverCores int, di
 	cell.BreakdownHot = s.breakdownOf(label + "/hot")
 
 	values := map[string]float64{
-		"ops_per_megacycle": cell.OpsPerMcyc,
-		"cycles_per_op":     cell.CyclesPerOp,
-		"makespan_cycles":   float64(cell.Makespan),
-		"ops_per_sec":       OpsPerSec(totalOps, cell.Makespan),
-		"ring_ops":          float64(cell.RingOps),
-		"doorbells":         float64(cell.Doorbells),
-		"doorbells_skipped": float64(cell.DoorbellsSkipped),
-		"spin_wakes":        float64(cell.SpinWakes),
-		"parks":             float64(cell.Parks),
-		"local_wakes":       float64(cell.LocalWakes),
-		"ipi_wakes":         float64(cell.IPIWakes),
-		"ipis":              float64(cell.IPIs),
-		"sweeps":            float64(cell.Sweeps),
-		"full_sweeps":       float64(cell.FullSweeps),
-		"tail_polls":        float64(cell.TailPolls),
-		"tenants_visited":   float64(cell.TenantsVisited),
-		"tenants_skipped":   float64(cell.TenantsSkipped),
-		"poll_cycles":       float64(cell.PollCycles),
-		"service_cycles":    float64(cell.ServiceCycles),
-		"cold_p99":          float64(cell.ColdP99),
-		"hot_p99":           float64(cell.HotP99),
-		"hot_tenants":       float64(cell.HotTenants),
+		"ops_per_megacycle":  cell.OpsPerMcyc,
+		"cycles_per_op":      cell.CyclesPerOp,
+		"makespan_cycles":    float64(cell.Makespan),
+		"ops_per_sec":        OpsPerSec(totalOps, cell.Makespan),
+		"ring_ops":           float64(cell.RingOps),
+		"doorbells":          float64(cell.Doorbells),
+		"doorbells_skipped":  float64(cell.DoorbellsSkipped),
+		"spin_wakes":         float64(cell.SpinWakes),
+		"parks":              float64(cell.Parks),
+		"local_wakes":        float64(cell.LocalWakes),
+		"ipi_wakes":          float64(cell.IPIWakes),
+		"ipis":               float64(cell.IPIs),
+		"sweeps":             float64(cell.Sweeps),
+		"full_sweeps":        float64(cell.FullSweeps),
+		"tail_polls":         float64(cell.TailPolls),
+		"tenants_visited":    float64(cell.TenantsVisited),
+		"tenants_skipped":    float64(cell.TenantsSkipped),
+		"poll_cycles":        float64(cell.PollCycles),
+		"service_cycles":     float64(cell.ServiceCycles),
+		"cold_p99":           float64(cell.ColdP99),
+		"hot_p99":            float64(cell.HotP99),
+		"hot_tenants":        float64(cell.HotTenants),
 		"spin_cycles_parked": float64(cell.SpinCycles),
 		"vmfuncs":            float64(k.Mach.Obs.SumSuffix(".vmfuncs")),
 		"l1d_misses":         float64(k.Mach.Obs.SumSuffix(".L1D.misses")),

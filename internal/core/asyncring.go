@@ -179,6 +179,13 @@ type AsyncRing struct {
 	// srvSeq is the server poll loop's drain cursor.
 	srvSeq uint32
 
+	// claimed marks a drain (owner sweep, stealing sibling, final or
+	// pre-park drain) currently inside serveDrainMax on this ring.
+	// Host-side state flipped with no intervening checkpoint, so it is
+	// atomic in simulated time; it guarantees one drainer per ring at a
+	// time, which is what keeps per-tenant FIFO order across steals.
+	claimed bool
+
 	pol       mk.WakePolicy
 	cliParker mk.Parker
 

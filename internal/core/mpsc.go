@@ -120,14 +120,20 @@ type Frontend struct {
 	sweepsSinceFull int
 	closed          bool
 
+	// dir and slot bind this frontend into an adaptive-placement
+	// Director (adaptive.go); nil means standalone.
+	dir  *Director
+	slot int
+
 	// Stats.
-	Sweeps        uint64 // drain sweeps (one epoch stamp each)
-	FullSweeps    uint64 // sweeps that rescanned every tail
-	TailPolls     uint64 // individual ring-tail reads by full rescans
-	TenantsVisited uint64 // set bits drained across all sweeps
-	TenantsSkipped uint64 // idle tenants skipped by the bitmap
-	PollCycles    uint64 // sweep cycles outside ring drain + dispatch
-	ServiceCycles uint64 // sweep cycles inside ring drain + dispatch
+	Sweeps           uint64 // drain sweeps (one epoch stamp each)
+	FullSweeps       uint64 // sweeps that rescanned every tail
+	TailPolls        uint64 // individual ring-tail reads by full rescans
+	TenantsVisited   uint64 // set bits drained across all sweeps
+	TenantsSkipped   uint64 // idle tenants skipped by the bitmap
+	PollCycles       uint64 // sweep cycles outside ring drain + dispatch
+	ServiceCycles    uint64 // sweep cycles inside ring drain + dispatch
+	IdleParkedCycles uint64 // cycles HLTed in the idle AdaptiveWait path
 }
 
 // NewFrontend attaches a multi-tenant drain to a registered server. The
@@ -328,10 +334,18 @@ func (fe *Frontend) sweep(env *mk.Env) (int, error) {
 				fe.clearBit(env, t)
 				continue
 			}
+			r := fe.rings[t]
+			if r.claimed {
+				// A stealing sibling is mid-drain (adaptive.go); the
+				// bit stays set and the next sweep revisits.
+				continue
+			}
 			visited++
 			fe.deficit[t] += fe.cfg.Quantum
 			s0 := cpu.Clock
-			n, more, err := fe.rings[t].serveDrainMax(env, fe.deficit[t])
+			r.claimed = true
+			n, more, err := r.serveDrainMax(env, fe.deficit[t])
+			r.claimed = false
 			service += cpu.Clock - s0
 			if err != nil {
 				return served, err
@@ -370,11 +384,27 @@ func (fe *Frontend) Serve(env *mk.Env) error {
 		if err != nil {
 			return err
 		}
+		if fe.dir != nil {
+			m, err := fe.dir.tick(env, fe)
+			if err != nil {
+				return err
+			}
+			n += m
+		}
 		if n > 0 {
 			continue
 		}
 		if fe.closed {
 			return fe.finalDrain(env)
+		}
+		if fe.dir != nil {
+			m, err := fe.dir.steal(env, fe)
+			if err != nil {
+				return err
+			}
+			if m > 0 {
+				continue
+			}
 		}
 		armed := false
 		env.AdaptiveWait(&fe.sink.parker, fe.cfg.Pol, func() bool {
@@ -382,11 +412,15 @@ func (fe *Frontend) Serve(env *mk.Env) error {
 				return true
 			}
 			if !armed {
-				// Spin probe: bitmap words only.
+				// Spin probe: bitmap words only (plus sibling bitmaps
+				// when stealing is on).
 				for w := 0; w < fe.nWords; w++ {
 					if readDirU64(env, fe.dirSrv, dirOffBitmap+8*w) != 0 {
 						return true
 					}
+				}
+				if fe.dir != nil && fe.dir.stealable(env, fe) {
+					return true
 				}
 				return false
 			}
@@ -407,6 +441,7 @@ func (fe *Frontend) Serve(env *mk.Env) error {
 			armed = false
 			writeDirU64(env, fe.dirSrv, dirOffSleep, 0)
 		})
+		fe.IdleParkedCycles += fe.sink.parker.Last.Parked
 	}
 }
 
@@ -416,7 +451,12 @@ func (fe *Frontend) finalDrain(env *mk.Env) error {
 	for {
 		n := 0
 		for _, r := range fe.rings {
+			if r.claimed {
+				continue
+			}
+			r.claimed = true
 			m, err := r.serveDrain(env)
+			r.claimed = false
 			if err != nil {
 				return err
 			}
@@ -433,5 +473,8 @@ func (fe *Frontend) finalDrain(env *mk.Env) error {
 // submissions before returning. Callers stop submitting first.
 func (fe *Frontend) Close(env *mk.Env) {
 	fe.closed = true
+	if fe.dir != nil {
+		fe.dir.gates[fe.slot].Close(env)
+	}
 	env.K.CloseParker(env.T.Core, &fe.sink.parker)
 }

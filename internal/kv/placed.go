@@ -1,0 +1,83 @@
+// Migratable shard placement: a set of co-resident shard stores served
+// by several drain cores, where shard ownership can move between drains
+// at runtime. The stores share one process (one EPT hierarchy), so a
+// migration moves ownership and cache locality, not page tables — the
+// new owner re-establishes its EPTP binding via Kernel.EnsureOn and
+// pulls the shard's table through its own cache hierarchy.
+package kv
+
+import (
+	"skybridge/internal/mk"
+	"skybridge/internal/svc"
+)
+
+// StatusWrongEpoch rejects a request routed with a stale shard-to-owner
+// mapping: the shard migrated since the client last read the routing
+// epoch. Vals[0] of the response carries the current epoch; the client
+// refreshes its owner table and resubmits to the new owner. The request
+// is never executed, so a retry cannot double-apply.
+const StatusWrongEpoch = 5
+
+// NewStoreSet allocates n shard stores inside one shared process —
+// the migratable counterpart of NewStoreShards' process-per-shard
+// layout.
+func NewStoreSet(proc *mk.Process, n, nslots, slotSize int) []*Store {
+	shards := make([]*Store, n)
+	for i := range shards {
+		shards[i] = NewStore(proc, nslots, slotSize)
+	}
+	return shards
+}
+
+// MigrateWarm walks the store's slot region with charged reads,
+// pulling the table into the cache hierarchy of the core taking
+// ownership. This is the data-movement cost of a shard migration: the
+// handoff itself is just an epoch bump, but the first touches of a
+// cold table land here instead of stretching the serving tail. Returns
+// the bytes walked.
+func (s *Store) MigrateWarm(env *mk.Env) int {
+	bytes := 0
+	var hdr [slotHdr]byte
+	for i := 0; i < s.nslots; i++ {
+		va := s.slotVA(i)
+		env.Read(va, hdr[:], slotHdr)
+		bytes += slotHdr
+		klen := int(hdr[0]) | int(hdr[1])<<8
+		vlen := int(hdr[2]) | int(hdr[3])<<8
+		if klen > 0 && slotHdr+klen+vlen <= s.slotSize {
+			buf := make([]byte, klen+vlen)
+			env.Read(va+slotHdr, buf, len(buf))
+			bytes += len(buf)
+		}
+	}
+	return bytes
+}
+
+// PlacedHandler serves a co-resident shard set behind one drain.
+// Requests carry their target shard in Args[0] (stamped by the routing
+// client); owns gates execution — when the drain no longer owns the
+// shard the request is rejected with StatusWrongEpoch plus the current
+// epoch in Vals[0], and the store is never touched. note, if non-nil,
+// observes each executed op for the placement controller's load
+// accounting.
+func PlacedHandler(shards []*Store, owns func(shard int) (bool, uint64), note func(shard int)) svc.Handler {
+	inner := make([]svc.Handler, len(shards))
+	for i, s := range shards {
+		inner[i] = s.Handler()
+	}
+	return func(env *mk.Env, req svc.Req) svc.Resp {
+		shard := int(req.Args[0])
+		if shard < 0 || shard >= len(shards) {
+			return svc.Resp{Status: StatusBadReq}
+		}
+		ok, epoch := owns(shard)
+		if !ok {
+			return svc.Resp{Status: StatusWrongEpoch, Vals: [3]uint64{epoch}}
+		}
+		resp := inner[shard](env, req)
+		if note != nil && resp.Status != StatusBadReq {
+			note(shard)
+		}
+		return resp
+	}
+}

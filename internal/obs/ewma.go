@@ -1,0 +1,39 @@
+package obs
+
+// ewmaFrac is the number of binary fraction bits EWMA keeps internally,
+// so small per-period sample counts still smooth instead of truncating
+// to zero.
+const ewmaFrac = 8
+
+// EWMA is a deterministic integer exponentially-weighted moving average
+// with smoothing factor 1/2^Shift: each Observe folds the new sample in
+// as v += (sample - v) >> Shift, carried in 1/2^ewmaFrac fixed point.
+// Pure integer arithmetic keeps placement-control decisions identical
+// across hosts, -j values, and repeat runs.
+type EWMA struct {
+	Shift uint
+	v     uint64
+}
+
+// Observe folds one sample (e.g. ops served this control period) into
+// the average.
+func (e *EWMA) Observe(sample uint64) {
+	s := sample << ewmaFrac
+	if s >= e.v {
+		// Round the increment up so a constant input is reached exactly
+		// instead of stalling 2^Shift-1 fixed-point units below it.
+		e.v += (s - e.v + 1<<e.Shift - 1) >> e.Shift
+	} else {
+		e.v -= (e.v - s) >> e.Shift
+	}
+}
+
+// Value is the current average, rounded down to sample units.
+func (e *EWMA) Value() uint64 { return e.v >> ewmaFrac }
+
+// Scaled is the current average in 1/256 sample units, for comparisons
+// that need sub-sample resolution.
+func (e *EWMA) Scaled() uint64 { return e.v }
+
+// Reset clears the average.
+func (e *EWMA) Reset() { e.v = 0 }

@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := EWMA{Shift: 2}
+	for i := 0; i < 64; i++ {
+		e.Observe(100)
+	}
+	if v := e.Value(); v < 99 || v > 100 {
+		t.Fatalf("EWMA of constant 100 = %d", v)
+	}
+}
+
+func TestEWMATracksStep(t *testing.T) {
+	e := EWMA{Shift: 1}
+	for i := 0; i < 32; i++ {
+		e.Observe(0)
+	}
+	if e.Value() != 0 {
+		t.Fatalf("EWMA of zeros = %d", e.Value())
+	}
+	e.Observe(64)
+	if v := e.Value(); v != 32 {
+		t.Fatalf("one step at shift 1 = %d, want 32", v)
+	}
+	for i := 0; i < 32; i++ {
+		e.Observe(64)
+	}
+	if v := e.Value(); v < 63 || v > 64 {
+		t.Fatalf("EWMA after step = %d, want ~64", v)
+	}
+	// Decay back toward zero strictly monotonically.
+	prev := e.Scaled()
+	for i := 0; i < 8; i++ {
+		e.Observe(0)
+		if e.Scaled() >= prev {
+			t.Fatalf("EWMA did not decay: %d -> %d", prev, e.Scaled())
+		}
+		prev = e.Scaled()
+	}
+}
+
+func TestEWMASmallSamplesDoNotVanish(t *testing.T) {
+	// Fraction bits keep a stream of 1s from truncating to zero.
+	e := EWMA{Shift: 3}
+	for i := 0; i < 128; i++ {
+		e.Observe(1)
+	}
+	if e.Value() < 1 {
+		t.Fatalf("EWMA of ones = %d (scaled %d)", e.Value(), e.Scaled())
+	}
+	e.Reset()
+	if e.Scaled() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}

@@ -21,6 +21,15 @@ const (
 	OpScan
 )
 
+// Request-distribution names for Workload.RequestDist (go-ycsb's
+// requestdistribution knob).
+const (
+	DistUniform  = "uniform"
+	DistZipfian  = "zipfian"
+	DistHotspot  = "hotspot"
+	DistShifting = "shifting-hotspot"
+)
+
 // Workload describes an operation mix over a keyspace.
 type Workload struct {
 	Name        string
@@ -36,6 +45,19 @@ type Workload struct {
 	// MaxScanLen bounds the length of a SCAN (workload E); the generator
 	// draws uniformly from [1, MaxScanLen].
 	MaxScanLen int
+	// RequestDist names the request distribution explicitly: "uniform",
+	// "zipfian", "hotspot", or "shifting-hotspot". Empty falls back to
+	// the Zipfian flag, preserving the classic workloads above.
+	RequestDist string
+	// HotDataFrac is the fraction of the keyspace forming the hot set
+	// (go-ycsb's hotspotdatafraction); hotspot distributions only.
+	HotDataFrac float64
+	// HotOpFrac is the fraction of operations that target the hot set
+	// (go-ycsb's hotspotopnfraction); hotspot distributions only.
+	HotOpFrac float64
+	// HotShiftEvery advances the hot set's start by one hot-set width
+	// every HotShiftEvery key draws; shifting-hotspot only.
+	HotShiftEvery int
 }
 
 // WorkloadA is the update-heavy workload the paper reports: 50% reads,
@@ -97,24 +119,78 @@ type Op struct {
 
 // Generator produces a deterministic operation stream for one client.
 type Generator struct {
-	w   Workload
-	rng *rand.Rand
-	zip *zipfian
-	seq int64
+	w       Workload
+	rng     *rand.Rand
+	zip     *zipfian
+	seq     int64
+	hotSize int64
+	draws   int
 }
 
 // NewGenerator builds a generator with its own seed (one per client
 // thread, so streams differ but runs are reproducible).
 func NewGenerator(w Workload, seed int64) *Generator {
 	g := &Generator{w: w, rng: rand.New(rand.NewSource(seed)), seq: int64(w.RecordCount)}
-	if w.Zipfian {
+	if w.Zipfian || w.RequestDist == DistZipfian {
 		g.zip = newZipfian(int64(w.RecordCount), 0.99, g.rng)
+	}
+	if w.RequestDist == DistHotspot || w.RequestDist == DistShifting {
+		g.hotSize = int64(w.HotDataFrac * float64(w.RecordCount))
+		if g.hotSize < 1 {
+			g.hotSize = 1
+		}
+		if g.hotSize > int64(w.RecordCount) {
+			g.hotSize = int64(w.RecordCount)
+		}
 	}
 	return g
 }
 
+// HotWindow reports the hot set [start, start+size) (mod RecordCount)
+// that the NEXT key draw would use. Size is 0 for non-hotspot
+// distributions.
+func (g *Generator) HotWindow() (start, size int64) {
+	if g.hotSize == 0 {
+		return 0, 0
+	}
+	return g.hotStart(), g.hotSize
+}
+
+// hotStart is the current base of the hot window: fixed at 0 for
+// "hotspot", advancing one window width per HotShiftEvery draws for
+// "shifting-hotspot".
+func (g *Generator) hotStart() int64 {
+	if g.w.RequestDist != DistShifting || g.w.HotShiftEvery <= 0 {
+		return 0
+	}
+	phase := int64(g.draws / g.w.HotShiftEvery)
+	return (phase * g.hotSize) % int64(g.w.RecordCount)
+}
+
+// hotKey draws from the hot window with probability HotOpFrac, else
+// uniformly from its complement (both mod RecordCount, so a shifted
+// window that wraps the end of the keyspace still works).
+func (g *Generator) hotKey() int64 {
+	n := int64(g.w.RecordCount)
+	start := g.hotStart()
+	g.draws++
+	if g.rng.Float64() < g.w.HotOpFrac {
+		return (start + g.rng.Int63n(g.hotSize)) % n
+	}
+	if g.hotSize == n {
+		return g.rng.Int63n(n)
+	}
+	return (start + g.hotSize + g.rng.Int63n(n-g.hotSize)) % n
+}
+
 // key chooses the target record.
 func (g *Generator) key() int64 {
+	switch g.w.RequestDist {
+	case DistHotspot, DistShifting:
+		return g.hotKey()
+	case DistUniform:
+		return g.rng.Int63n(int64(g.w.RecordCount))
+	}
 	if g.zip != nil {
 		return g.zip.next()
 	}
